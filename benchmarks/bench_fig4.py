@@ -1,0 +1,44 @@
+"""Fig. 4 bench: sequences/second for the two MPI memory-allocation modes.
+
+Shape assertions: read-spread stays close to perfect linear scaling while
+memory-spread falls clearly below it — the paper's conclusion that "the
+spread memory mode does not process as many sequences".
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.experiments import fig4
+
+RANKS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig4(benchmark, scaling_workload):
+    points = benchmark.pedantic(
+        lambda: fig4.run(workload=scaling_workload, ranks=RANKS),
+        rounds=1,
+        iterations=1,
+    )
+    record("Fig 4", fig4.format(points))
+
+    series = {}
+    for p in points:
+        series.setdefault(p.mode, {})[p.n_ranks] = p
+
+    for mode in ("read-spread", "memory-spread"):
+        assert set(series[mode]) == set(RANKS)
+        # throughput must grow with ranks in both modes
+        rates = [series[mode][r].reads_per_second for r in RANKS]
+        assert all(b > a for a, b in zip(rates, rates[1:])), (mode, rates)
+
+    top = RANKS[-1]
+    rs = series["read-spread"][top]
+    ms = series["memory-spread"][top]
+    rs_eff = rs.reads_per_second / rs.linear_reads_per_second
+    ms_eff = ms.reads_per_second / ms.linear_reads_per_second
+    # Read-spread: near-linear (>= 70% efficiency at 32 ranks).
+    assert rs_eff >= 0.7, rs_eff
+    # Memory-spread: clearly sub-linear and clearly worse than read-spread.
+    assert ms_eff < rs_eff - 0.1, (rs_eff, ms_eff)
+    assert ms.reads_per_second < rs.reads_per_second

@@ -1,0 +1,98 @@
+"""Micro-kernel benchmarks: the hot paths in isolation.
+
+These are classic pytest-benchmark targets (many rounds, statistical
+timing): the batched forward/backward DP, posterior extraction, accumulator
+scatter-adds for each memory mode, the LRT, and index construction.  They
+are what you profile when optimising, and what guards against performance
+regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calling.lrt import lrt_statistic_diploid, lrt_statistic_monoploid
+from repro.index.hashindex import GenomeIndex
+from repro.memory.base import make_accumulator
+from repro.phmm.forward_backward import backward_batch, emissions_batch, forward_batch
+from repro.phmm.model import PHMMParams
+from repro.phmm.posterior import posteriors_batch
+from repro.phmm.pwm import pwm_from_codes
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+
+B, N, M = 128, 62, 78
+
+
+@pytest.fixture(scope="module")
+def phmm_batch():
+    rng = np.random.default_rng(7)
+    params = PHMMParams()
+    pwms = np.stack(
+        [
+            pwm_from_codes(
+                rng.integers(0, 4, N).astype(np.uint8),
+                rng.uniform(0.001, 0.05, N),
+            )
+            for _ in range(B)
+        ]
+    )
+    windows = rng.integers(0, 4, (B, M)).astype(np.uint8)
+    pstar = emissions_batch(pwms, windows, params)
+    return params, pwms, windows, pstar
+
+
+def test_bench_emissions(benchmark, phmm_batch):
+    params, pwms, windows, _ = phmm_batch
+    out = benchmark(emissions_batch, pwms, windows, params)
+    assert out.shape == (B, N, M)
+
+
+def test_bench_forward(benchmark, phmm_batch):
+    params, _, _, pstar = phmm_batch
+    fwd = benchmark(forward_batch, pstar, params)
+    assert np.isfinite(fwd.loglik).all()
+
+
+def test_bench_backward(benchmark, phmm_batch):
+    params, _, _, pstar = phmm_batch
+    bwd = benchmark(backward_batch, pstar, params)
+    assert bwd.bM.shape == (B, N + 1, M + 1)
+
+
+def test_bench_posteriors(benchmark, phmm_batch):
+    params, pwms, windows, pstar = phmm_batch
+    fwd = forward_batch(pstar, params)
+    bwd = backward_batch(pstar, params)
+    post = benchmark(posteriors_batch, pstar, pwms, windows, fwd, bwd, params)
+    assert post.base_mass.shape == (B, M, 4)
+
+
+@pytest.mark.parametrize("mode", ["NORM", "CHARDISC", "CENTDISC"])
+def test_bench_accumulator_add(benchmark, mode):
+    rng = np.random.default_rng(11)
+    length = 100_000
+    positions = rng.integers(0, length, 10_000)
+    z = rng.dirichlet([8, 1, 1, 1, 0.2], size=10_000)
+    acc = make_accumulator(mode, length)
+    benchmark(acc.add, positions, z)
+
+
+def test_bench_lrt_monoploid(benchmark):
+    rng = np.random.default_rng(13)
+    z = rng.gamma(2.0, 2.0, size=(50_000, 5))
+    stat = benchmark(lrt_statistic_monoploid, z)
+    assert stat.shape == (50_000,)
+
+
+def test_bench_lrt_diploid(benchmark):
+    rng = np.random.default_rng(17)
+    z = rng.gamma(2.0, 2.0, size=(50_000, 5))
+    stat, het = benchmark(lrt_statistic_diploid, z)
+    assert het.dtype == bool
+
+
+def test_bench_index_build(benchmark):
+    ref, _ = simulate_genome(GenomeSpec(length=100_000, n_repeats=0), seed=3)
+    index = benchmark(GenomeIndex, ref)
+    assert index.n_indexed_positions > 0

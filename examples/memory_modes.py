@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The three accumulator memory modes side by side — a miniature Table III.
+
+Runs the identical workload through NORM, CHARDISC and CENTDISC, reporting
+live memory, wall-clock, accuracy, and the projected footprint at the
+paper's chrX/human genome sizes.
+
+    python examples/memory_modes.py
+"""
+
+import time
+
+from repro import GnumapSnp, PipelineConfig, build_workload
+from repro.evaluation.metrics import compare_to_truth
+from repro.memory.footprint import CHRX_LENGTH, HUMAN_LENGTH, FootprintModel
+
+
+def main() -> None:
+    wl = build_workload(scale="tiny", seed=5)
+    model = FootprintModel()
+    print(f"workload: {len(wl.reference):,} bp, {wl.n_reads:,} reads, "
+          f"{len(wl.catalog)} planted SNPs\n")
+    header = (
+        f"{'mode':<18} {'acc bytes':>10} {'chrX proj':>10} {'human proj':>11} "
+        f"{'wall':>7} {'TP':>3} {'FP':>3} {'precision':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for mode in ("NORM", "CHARDISC", "CENTDISC", "CENTDISC_WEIGHTED"):
+        pipeline = GnumapSnp(wl.reference, PipelineConfig(accumulator=mode))
+        t0 = time.perf_counter()
+        result = pipeline.run(wl.reads)
+        wall = time.perf_counter() - t0
+        counts = compare_to_truth(result.snps, wl.catalog)
+        print(
+            f"{mode:<18} {result.accumulator.nbytes():>10,} "
+            f"{model.total_gb(mode, CHRX_LENGTH):>9.2f}G "
+            f"{model.total_gb(mode, HUMAN_LENGTH):>10.0f}G "
+            f"{wall:>6.1f}s {counts.tp:>3} {counts.fp:>3} "
+            f"{counts.precision:>9.1%}"
+        )
+    print(
+        "\nExpected shape (paper Table III): CHARDISC ~ NORM accuracy at "
+        "half the memory;\nCENTDISC smallest memory but accuracy collapse "
+        "(its equal-weight table-lookup\nupdates treat each read as half "
+        "the evidence).  CENTDISC_WEIGHTED is this\nreproduction's fix: "
+        "identical 5-byte layout, exact-weight updates, accuracy restored."
+    )
+
+
+if __name__ == "__main__":
+    main()

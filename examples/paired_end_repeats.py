@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Paired-end reads disambiguating a SNP inside an exact repeat.
+
+Single-end reads cannot tell two exact repeat copies apart: the
+probabilistic multiread weighting splits the variant evidence 50/50 over
+both copies (the best any single-end caller can honestly do).  Paired-end
+fragments whose mates anchor in unique flanking sequence pin the true copy.
+This example runs both pipelines on the same fragments and prints the
+evidence distribution side by side.
+
+    python examples/paired_end_repeats.py
+"""
+
+from repro import PipelineConfig
+from repro.genome.variants import Variant, VariantCatalog, apply_variants
+from repro.pipeline.gnumap import GnumapSnp
+from repro.pipeline.paired import PairedConfig, PairedGnumap
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+from repro.simulate.paired import PairedReadSimSpec, PairedReadSimulator
+
+
+def main() -> None:
+    ref, repeats = simulate_genome(
+        GenomeSpec(length=30_000, n_repeats=1, repeat_length=300,
+                   repeat_divergence=0.0),
+        seed=15,
+    )
+    rep = repeats[0]
+    pos = rep.src_start + 150
+    copy_pos = rep.copy_start + 150
+    alt = (int(ref.codes[pos]) + 1) % 4
+    catalog = VariantCatalog([Variant(pos, int(ref.codes[pos]), alt)])
+    (hap,) = apply_variants(ref, catalog)
+    print(
+        f"genome 30 kb with an exact 300 bp repeat "
+        f"(copies at {rep.src_start} and {rep.copy_start});\n"
+        f"one SNP planted at {pos} (inside the FIRST copy only)\n"
+    )
+
+    pairs = PairedReadSimulator(
+        [hap],
+        PairedReadSimSpec(read_length=62, coverage=20.0,
+                          insert_mean=450.0, insert_sd=25.0),
+        seed=16,
+    ).simulate()
+    single_reads = [r for p in pairs for r in (p.read1, p.read2)]
+
+    single = GnumapSnp(ref, PipelineConfig()).run(single_reads)
+    paired = PairedGnumap(
+        ref, PipelineConfig(), PairedConfig(insert_mean=450.0, insert_sd=25.0)
+    ).run(pairs)
+
+    print(f"{'pipeline':<12} {'alt mass @ true':>16} {'alt mass @ copy':>16} "
+          f"{'calls':>30}")
+    for name, result in (("single-end", single), ("paired-end", paired)):
+        z = result.accumulator.snapshot()
+        calls = ", ".join(
+            f"{s.pos}:{s.ref_name}->{s.alt_name}" for s in result.snps
+        ) or "(none)"
+        print(
+            f"{name:<12} {z[pos, alt]:>16.2f} {z[copy_pos, alt]:>16.2f} "
+            f"{calls:>30}"
+        )
+    print(
+        "\nSingle-end: the alt evidence is split evenly between the copies "
+        "(ambiguous).\nPaired-end: mates anchored outside the repeat pin the "
+        "fragment, concentrating\nthe evidence on the true copy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work in offline
+environments without the `wheel` package. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Parallel Pair-HMM SNP Detection" (IPPS 2012).
+
+GNUMAP-SNP rebuilt as a Python library: a quality-aware Pair-HMM read
+aligner with marginal (forward-backward) base evidence, an LRT SNP caller
+with Bonferroni/FDR cutoffs, three genome-accumulator memory modes
+(NORM / CHARDISC / CENTDISC), and the paper's two MPI parallelisation
+strategies running over a simulated (virtual-time) cluster substrate.
+
+Quickstart::
+
+    from repro import build_workload, GnumapSnp, PipelineConfig
+    wl = build_workload(scale="tiny")
+    result = GnumapSnp(wl.reference, PipelineConfig()).run(wl.reads)
+    for snp in result.snps:
+        print(snp.pos, snp.ref_name, "->", snp.alt_name)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+table/figure reproductions.
+"""
+
+from repro.experiments.workload import Workload, build_workload
+from repro.genome.fastq import Read
+from repro.genome.reference import Reference
+from repro.genome.variants import Variant, VariantCatalog
+from repro.phmm.model import PHMMParams
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp, PipelineResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "Read",
+    "Reference",
+    "Variant",
+    "VariantCatalog",
+    "PHMMParams",
+    "PipelineConfig",
+    "GnumapSnp",
+    "PipelineResult",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Baseline callers the paper compares against (or that ablate its design).
+
+``maq`` reimplements the algorithmic skeleton of MAQ (Li, Ruan & Durbin
+2008) — single best ungapped alignment with quality-weighted mismatch
+scoring, mapping qualities, random multiread assignment, and a consensus
+caller with fixed cutoffs.  ``pileup`` is a naive majority-vote caller used
+as a floor in the ablations.
+"""
+
+from repro.baselines.maq import MaqConfig, MaqLikeCaller
+from repro.baselines.pileup import PileupCaller
+
+__all__ = ["MaqConfig", "MaqLikeCaller", "PileupCaller"]

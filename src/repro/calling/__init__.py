@@ -1,0 +1,34 @@
+"""SNP calling: the paper's likelihood-ratio-test framework.
+
+``lrt`` implements the monoploid and diploid LRT statistics on the
+accumulated z-vectors; ``pvalues`` converts statistics to chi-square
+p-values with the paper's Bonferroni ``alpha/5`` adjustment and offers
+Benjamini–Hochberg FDR control as the alternative cutoff; ``caller`` walks a
+genome's accumulated counts and emits :class:`~repro.calling.records.SNPCall`
+records.
+"""
+
+from repro.calling.lrt import (
+    lrt_statistic_diploid,
+    lrt_statistic_monoploid,
+)
+from repro.calling.pvalues import (
+    benjamini_hochberg,
+    chi2_pvalue,
+    significance_threshold,
+)
+from repro.calling.caller import CallerConfig, SNPCaller
+from repro.calling.records import BaseCall, SNPCall, write_snp_calls
+
+__all__ = [
+    "lrt_statistic_monoploid",
+    "lrt_statistic_diploid",
+    "chi2_pvalue",
+    "significance_threshold",
+    "benjamini_hochberg",
+    "CallerConfig",
+    "SNPCaller",
+    "BaseCall",
+    "SNPCall",
+    "write_snp_calls",
+]

@@ -1,0 +1,216 @@
+"""The SNP caller: accumulated z-vectors -> base calls -> SNP records.
+
+This is step 3 of the GNUMAP-SNP pipeline.  Given the ``(P, 5)`` accumulated
+evidence matrix for a genome (or genome segment) and the reference codes, the
+caller:
+
+1. computes the LRT statistic per position (monoploid or diploid),
+2. applies the configured cutoff — the paper's Bonferroni ``alpha/5``
+   chi-square quantile, or BH FDR control over all tested positions,
+3. calls the base/genotype at significant positions, and
+4. reports positions whose call differs from the reference as SNPs.
+
+Positions below ``min_depth`` are never called (there is not enough evidence
+for the asymptotic test to mean anything; the paper's 5-20-read regime is
+well above it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.calling.lrt import (
+    DEFAULT_HET_MARGIN,
+    lrt_statistic_diploid,
+    lrt_statistic_monoploid,
+    top_channels,
+)
+from repro.calling.pvalues import (
+    benjamini_hochberg,
+    chi2_pvalue,
+    significance_threshold,
+)
+from repro.calling.records import BaseCall, SNPCall
+from repro.errors import CallingError
+from repro.genome.alphabet import GAP, N
+
+
+@dataclass
+class CallerConfig:
+    """SNP-caller knobs.
+
+    Attributes
+    ----------
+    ploidy:
+        1 (monoploid LRT) or 2 (diploid LRT with het alternative).
+    alpha:
+        SNP-wise false-positive rate for the Bonferroni cutoff.  The
+        default 0.01 trades a little stringency for sensitivity at 5-12x
+        coverage; false positives stay rare regardless because a
+        "significant" position is only a SNP when its winning base also
+        *differs from the reference* — background positions are
+        ref-dominant and veto themselves.
+    method:
+        ``"bonferroni"`` (the paper's default cutoff) or ``"fdr"``
+        (Benjamini–Hochberg at level ``fdr``).
+    fdr:
+        FDR level when ``method == "fdr"``.
+    min_depth:
+        Minimum accumulated evidence ``n`` to attempt a call.
+    het_margin:
+        Threshold for the nested het-vs-hom LRT deciding the genotype (see
+        :func:`~repro.calling.lrt.lrt_statistic_diploid`).  ``None``
+        (default) uses that function's calibrated default.
+    min_het_fraction:
+        A heterozygous genotype additionally requires the second allele to
+        hold at least this fraction of the position's evidence; the fixed
+        chi-square margin alone lets clustered sequencing errors (whose mass
+        grows with depth) masquerade as hets at high coverage.  True hets
+        sit near 0.5.
+    call_gaps:
+        When False (default), positions whose winning channel is the gap are
+        reported as deletions only if this flag is on; otherwise skipped
+        (the paper's tables count substitution SNPs).
+    """
+
+    ploidy: int = 1
+    alpha: float = 0.01
+    method: str = "bonferroni"
+    fdr: float = 0.05
+    min_depth: float = 3.0
+    het_margin: float | None = None
+    min_het_fraction: float = 0.15
+    call_gaps: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ploidy not in (1, 2):
+            raise CallingError(f"ploidy must be 1 or 2, got {self.ploidy}")
+        if not 0.0 < self.alpha < 1.0:
+            raise CallingError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.method not in ("bonferroni", "fdr"):
+            raise CallingError(f"unknown method {self.method!r}")
+        if not 0.0 < self.fdr < 1.0:
+            raise CallingError(f"fdr must be in (0, 1), got {self.fdr}")
+        if self.min_depth < 0:
+            raise CallingError("min_depth must be non-negative")
+        if self.het_margin is not None and self.het_margin < 0:
+            raise CallingError("het_margin must be non-negative")
+        if not 0.0 <= self.min_het_fraction <= 0.5:
+            raise CallingError("min_het_fraction must be in [0, 0.5]")
+
+
+class SNPCaller:
+    """Applies the LRT machinery to an accumulated evidence matrix."""
+
+    def __init__(self, config: CallerConfig | None = None) -> None:
+        self.config = config or CallerConfig()
+
+    def base_calls(
+        self, z: np.ndarray, positions: np.ndarray | None = None
+    ) -> list[BaseCall]:
+        """LRT outcome for every position with depth >= ``min_depth``.
+
+        Parameters
+        ----------
+        z:
+            ``(P, 5)`` accumulated evidence.
+        positions:
+            Genome positions of the rows (default ``0..P-1``) — segments of a
+            distributed genome pass their global coordinates here.
+        """
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 2 or z.shape[1] != 5:
+            raise CallingError(f"z must be (P, 5), got {z.shape}")
+        P = z.shape[0]
+        if positions is None:
+            positions = np.arange(P, dtype=np.int64)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.shape != (P,):
+                raise CallingError("positions must match z rows")
+
+        cfg = self.config
+        depth = z.sum(axis=1)
+        eligible = depth >= cfg.min_depth
+        if not eligible.any():
+            return []
+        ze = z[eligible]
+        pos_e = positions[eligible]
+        depth_e = depth[eligible]
+
+        if cfg.ploidy == 1:
+            stat = lrt_statistic_monoploid(ze)
+            het = np.zeros(stat.size, dtype=bool)
+        else:
+            margin = (
+                cfg.het_margin if cfg.het_margin is not None else DEFAULT_HET_MARGIN
+            )
+            stat, het = lrt_statistic_diploid(ze, het_margin=margin)
+            if cfg.min_het_fraction > 0:
+                second_mass = np.sort(ze, axis=1)[:, -2]
+                het &= second_mass >= cfg.min_het_fraction * depth_e
+        pvals = chi2_pvalue(stat)
+        if cfg.method == "bonferroni":
+            signif = stat > significance_threshold(cfg.alpha)
+        else:
+            signif = benjamini_hochberg(pvals, cfg.fdr)
+        top, second = top_channels(ze)
+
+        return [
+            BaseCall(
+                pos=int(pos_e[i]),
+                depth=float(depth_e[i]),
+                top_channel=int(top[i]),
+                second_channel=int(second[i]),
+                stat=float(stat[i]),
+                pvalue=float(pvals[i]),
+                significant=bool(signif[i]),
+                heterozygous=bool(het[i]) and bool(signif[i]),
+            )
+            for i in range(ze.shape[0])
+        ]
+
+    def snps(
+        self,
+        z: np.ndarray,
+        reference_codes: np.ndarray,
+        positions: np.ndarray | None = None,
+        regions=None,
+    ) -> list[SNPCall]:
+        """Significant calls that differ from the reference.
+
+        ``reference_codes`` is indexed by genome position (the full genome
+        array, also when ``z`` covers a segment via ``positions``).
+        Reference N positions are never reported (no truth to differ from).
+        ``regions`` (a :class:`~repro.genome.regions.RegionSet`) restricts
+        calls to the given intervals — targeted panels / blacklists.
+        """
+        reference_codes = np.asarray(reference_codes)
+        out: list[SNPCall] = []
+        for call in self.base_calls(z, positions):
+            if regions is not None and call.pos not in regions:
+                continue
+            if not call.significant:
+                continue
+            if call.pos >= reference_codes.size:
+                raise CallingError(
+                    f"call at {call.pos} beyond reference of "
+                    f"{reference_codes.size}"
+                )
+            ref = int(reference_codes[call.pos])
+            if ref == N:
+                continue
+            genotype = call.genotype
+            if GAP in genotype and not self.config.call_gaps:
+                continue
+            if self._differs(genotype, ref):
+                out.append(SNPCall(pos=call.pos, ref_base=ref, call=call))
+        return out
+
+    @staticmethod
+    def _differs(genotype: tuple[int, ...], ref: int) -> bool:
+        """True when the genotype is not homozygous-reference."""
+        return genotype != (ref,)

@@ -1,0 +1,107 @@
+"""Call records and the SNP report writer.
+
+:class:`BaseCall` is the per-position outcome of the LRT stage (whether or
+not it differs from the reference); :class:`SNPCall` is the subset reported
+as SNPs, carrying genotype and statistics — the rows GNUMAP-SNP "prints to a
+file" in step (D) of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.errors import CallingError
+from repro.genome.alphabet import CHANNELS
+
+
+def _channel_name(idx: int) -> str:
+    if not 0 <= idx < len(CHANNELS):
+        raise CallingError(f"invalid channel index {idx}")
+    return CHANNELS[idx]
+
+
+@dataclass(frozen=True)
+class BaseCall:
+    """Outcome of the LRT at one genome position.
+
+    Attributes
+    ----------
+    pos:
+        0-based genome position.
+    depth:
+        Total accumulated evidence ``n = sum(z)`` (continuous coverage).
+    top_channel / second_channel:
+        Channel indices (0-4 = A,C,G,T,gap) ordered by accumulated mass.
+    stat:
+        ``-2 log lambda``.
+    pvalue:
+        Upper-tail chi^2_1 p-value.
+    significant:
+        Whether the statistic cleared the configured cutoff.
+    heterozygous:
+        Diploid mode only: the het alternative won the LRT.
+    """
+
+    pos: int
+    depth: float
+    top_channel: int
+    second_channel: int
+    stat: float
+    pvalue: float
+    significant: bool
+    heterozygous: bool = False
+
+    @property
+    def genotype(self) -> tuple[int, ...]:
+        """Called genotype as channel indices (one or two entries)."""
+        if self.heterozygous:
+            return tuple(sorted((self.top_channel, self.second_channel)))
+        return (self.top_channel,)
+
+
+@dataclass(frozen=True)
+class SNPCall:
+    """A reported SNP: a significant base call differing from the reference."""
+
+    pos: int
+    ref_base: int
+    call: BaseCall
+
+    def __post_init__(self) -> None:
+        if self.pos != self.call.pos:
+            raise CallingError(
+                f"SNP position {self.pos} != call position {self.call.pos}"
+            )
+
+    @property
+    def alt_name(self) -> str:
+        """Human-readable alternate allele(s), e.g. ``"G"`` or ``"A/G"``."""
+        return "/".join(_channel_name(c) for c in self.call.genotype)
+
+    @property
+    def ref_name(self) -> str:
+        return _channel_name(self.ref_base)
+
+
+def write_snp_calls(
+    path_or_file: "str | Path | TextIO", calls: Iterable[SNPCall]
+) -> int:
+    """Write a TSV SNP report; returns the number of rows written."""
+    owned = isinstance(path_or_file, (str, Path))
+    fh = open(path_or_file, "w") if owned else path_or_file
+    n = 0
+    try:
+        fh.write("pos\tref\talt\tdepth\tstat\tpvalue\thet\n")
+        for snp in calls:
+            fh.write(
+                f"{snp.pos}\t{snp.ref_name}\t{snp.alt_name}\t"
+                f"{snp.call.depth:.3f}\t{snp.call.stat:.4f}\t"
+                f"{snp.call.pvalue:.3e}\t{int(snp.call.heterozygous)}\n"
+            )
+            n += 1
+    finally:
+        if owned:
+            fh.close()
+    return n

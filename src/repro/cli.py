@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the full workflow on files:
+
+``simulate``
+    Build a synthetic reference + planted SNP catalog + reads
+    (FASTA / TSV / FASTQ outputs).
+``call``
+    Run GNUMAP-SNP on a FASTA reference and FASTQ reads; write the SNP TSV.
+``map``
+    Align FASTQ reads against a FASTA reference; write SAM with
+    posterior-weight mapping qualities.
+``evaluate``
+    Score a SNP TSV against a truth catalog TSV.
+``experiments``
+    Regenerate one of the paper's tables/figures at a chosen scale.
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.workload import build_workload
+    from repro.genome.fasta import write_fasta
+    from repro.genome.fastq import write_fastq
+
+    wl = build_workload(
+        scale=args.scale,
+        seed=args.seed,
+        ploidy=args.ploidy,
+        het_fraction=args.het_fraction,
+    )
+    write_fasta(args.reference, {wl.reference.name: wl.reference.codes})
+    write_fastq(args.reads, wl.reads)
+    wl.catalog.write_tsv(args.truth)
+    print(
+        f"wrote {len(wl.reference):,} bp reference -> {args.reference}\n"
+        f"wrote {wl.n_reads:,} reads (~{wl.coverage:.1f}x) -> {args.reads}\n"
+        f"wrote {len(wl.catalog)} truth SNPs -> {args.truth}"
+    )
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    from repro.calling.caller import CallerConfig
+    from repro.calling.records import write_snp_calls
+    from repro.genome.fasta import read_fasta
+    from repro.genome.fastq import read_fastq
+    from repro.genome.reference import Reference
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.gnumap import GnumapSnp
+
+    records = read_fasta(args.reference)
+    if len(records) != 1:
+        raise ReproError(
+            f"expected a single-record reference FASTA, got {len(records)}"
+        )
+    name, codes = next(iter(records.items()))
+    reference = Reference(codes, name=name)
+    reads = read_fastq(args.reads)
+    config = PipelineConfig(
+        k=args.k,
+        accumulator=args.accumulator,
+        caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
+                            method=args.method, fdr=args.fdr),
+    )
+    pipeline = GnumapSnp(reference, config)
+    result = pipeline.run(reads)
+    n = write_snp_calls(args.output, result.snps)
+    print(
+        f"mapped {result.stats.n_mapped}/{result.stats.n_reads} reads; "
+        f"wrote {n} SNP calls -> {args.output}"
+    )
+    if args.vcf:
+        from repro.calling.vcf import write_vcf
+
+        written, skipped = write_vcf(args.vcf, result.snps, contig=name)
+        print(f"wrote {written} VCF records -> {args.vcf}")
+    if args.report:
+        from repro.evaluation.report import run_report
+
+        with open(args.report, "w") as fh:
+            fh.write(run_report(result, reference))
+        print(f"wrote run report -> {args.report}")
+    if args.verbose:
+        print(result.timers.report())
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.genome.fasta import read_fasta
+    from repro.genome.fastq import read_fastq
+    from repro.genome.reference import Reference
+    from repro.io.sam import collect_placements, write_sam
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.gnumap import GnumapSnp
+
+    records = read_fasta(args.reference)
+    if len(records) != 1:
+        raise ReproError(
+            f"expected a single-record reference FASTA, got {len(records)}"
+        )
+    name, codes = next(iter(records.items()))
+    reference = Reference(codes, name=name)
+    reads = read_fastq(args.reads)
+    pipeline = GnumapSnp(reference, PipelineConfig(k=args.k))
+    placements = collect_placements(
+        pipeline, reads, max_secondary=args.max_secondary
+    )
+    n = write_sam(args.output, placements, name, len(reference))
+    primary = sum(1 for p in placements if p.is_primary)
+    print(
+        f"placed {primary}/{len(reads)} reads "
+        f"({n} alignment records incl. secondaries) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from dataclasses import dataclass
+
+    from repro.evaluation.metrics import compare_to_truth
+    from repro.genome.variants import VariantCatalog
+
+    @dataclass
+    class _Row:
+        pos: int
+
+    truth = VariantCatalog.read_tsv(args.truth)
+    calls = []
+    with open(args.calls) as fh:
+        header = fh.readline().rstrip("\n").split("\t")
+        if not header or header[0] != "pos":
+            raise ReproError(f"unexpected SNP TSV header in {args.calls}")
+        for line in fh:
+            line = line.rstrip("\n")
+            if line:
+                calls.append(_Row(pos=int(line.split("\t")[0])))
+    counts = compare_to_truth(calls, truth)
+    print(
+        f"TP {counts.tp}  FP {counts.fp}  FN {counts.fn}  "
+        f"precision {counts.precision:.1%}  recall {counts.recall:.1%}  "
+        f"F1 {counts.f1:.3f}"
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations, fig4, fig5, table1, table2, table3
+
+    modules = {
+        "table1": table1,
+        "table2": table2,
+        "table3": table3,
+        "fig4": fig4,
+        "fig5": fig5,
+        "ablations": ablations,
+    }
+    module = modules[args.name]
+    rows = module.run(scale=args.scale, seed=args.seed)
+    print(module.format(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNUMAP-SNP reproduction: parallel Pair-HMM SNP detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a synthetic workload")
+    p_sim.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "bench", "large"])
+    p_sim.add_argument("--seed", type=int, default=2012)
+    p_sim.add_argument("--ploidy", type=int, default=1, choices=[1, 2])
+    p_sim.add_argument("--het-fraction", type=float, default=0.0)
+    p_sim.add_argument("--reference", default="reference.fa")
+    p_sim.add_argument("--reads", default="reads.fq")
+    p_sim.add_argument("--truth", default="truth_snps.tsv")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_call = sub.add_parser("call", help="run GNUMAP-SNP on files")
+    p_call.add_argument("reference", help="single-record reference FASTA")
+    p_call.add_argument("reads", help="FASTQ reads")
+    p_call.add_argument("-o", "--output", default="snps.tsv")
+    p_call.add_argument("--k", type=int, default=10)
+    p_call.add_argument("--accumulator", default="NORM",
+                        choices=["NORM", "CHARDISC", "CENTDISC"])
+    p_call.add_argument("--ploidy", type=int, default=1, choices=[1, 2])
+    p_call.add_argument("--alpha", type=float, default=0.001)
+    p_call.add_argument("--method", default="bonferroni",
+                        choices=["bonferroni", "fdr"])
+    p_call.add_argument("--fdr", type=float, default=0.05)
+    p_call.add_argument("--vcf", default=None, help="also write VCF here")
+    p_call.add_argument("--report", default=None,
+                        help="also write a markdown run report here")
+    p_call.add_argument("-v", "--verbose", action="store_true")
+    p_call.set_defaults(func=_cmd_call)
+
+    p_map = sub.add_parser("map", help="align reads, write SAM")
+    p_map.add_argument("reference", help="single-record reference FASTA")
+    p_map.add_argument("reads", help="FASTQ reads")
+    p_map.add_argument("-o", "--output", default="alignments.sam")
+    p_map.add_argument("--k", type=int, default=10)
+    p_map.add_argument("--max-secondary", type=int, default=4)
+    p_map.set_defaults(func=_cmd_map)
+
+    p_eval = sub.add_parser("evaluate", help="score calls against truth")
+    p_eval.add_argument("calls", help="SNP TSV from `repro call`")
+    p_eval.add_argument("truth", help="truth TSV from `repro simulate`")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_exp = sub.add_parser("experiments", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=["table1", "table2", "table3",
+                                        "fig4", "fig5", "ablations"])
+    p_exp.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "bench", "large"])
+    p_exp.add_argument("--seed", type=int, default=2012)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

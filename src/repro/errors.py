@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+Subclasses are grouped by subsystem; they carry no extra state beyond the
+message unless documented.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SequenceError(ReproError):
+    """Invalid nucleotide sequence, encoding, or alphabet misuse."""
+
+
+class FastaError(ReproError):
+    """Malformed FASTA input."""
+
+
+class FastqError(ReproError):
+    """Malformed FASTQ input (truncated record, bad quality string, ...)."""
+
+
+class VariantError(ReproError):
+    """Invalid variant record or inconsistent variant application."""
+
+
+class IndexError_(ReproError):
+    """k-mer index construction or query failure.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class ModelError(ReproError):
+    """Invalid PHMM parameterisation (non-stochastic transitions, ...)."""
+
+
+class AlignmentError(ReproError):
+    """Pair-HMM alignment failure (empty sequences, window misuse, ...)."""
+
+
+class CallingError(ReproError):
+    """LRT / SNP-calling misuse (negative counts, bad alpha, ...)."""
+
+
+class AccumulatorError(ReproError):
+    """Genome accumulator misuse (shape mismatch, overflow policy, ...)."""
+
+
+class CommError(ReproError):
+    """Communicator misuse or failure in the parallel substrate."""
+
+
+class PartitionError(ReproError):
+    """Invalid work or genome partitioning request."""
+
+
+class PipelineError(ReproError):
+    """End-to-end pipeline configuration or execution failure."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""

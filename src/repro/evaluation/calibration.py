@@ -1,0 +1,91 @@
+"""Statistical calibration diagnostics for the LRT cutoffs.
+
+The paper's selling point is that its cutoffs are *statistical* — "a p-value
+cutoff or a false discovery control" — rather than ad hoc.  That claim is
+checkable: under background-only evidence the LRT p-values should be
+super-uniform (the test is conservative by construction since background
+positions are ref-dominant, not uniform), and the *SNP-wise* false-positive
+rate at level alpha should stay at or below alpha.  This module produces the
+numbers: a p-value QQ table against the uniform distribution and an
+alpha -> observed-FPR sweep on a SNP-free pipeline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calling.caller import CallerConfig, SNPCaller
+from repro.calling.lrt import lrt_statistic_monoploid
+from repro.calling.pvalues import chi2_pvalue
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class AlphaSweepPoint:
+    """Observed SNP calls on truth-free data at one alpha level."""
+
+    alpha: float
+    n_tested: int
+    n_false_calls: int
+
+    @property
+    def observed_rate(self) -> float:
+        return self.n_false_calls / self.n_tested if self.n_tested else 0.0
+
+
+def qq_points(
+    z: np.ndarray, n_quantiles: int = 20, min_depth: float = 3.0
+) -> np.ndarray:
+    """QQ table of LRT p-values vs uniform on background evidence.
+
+    ``z`` is a ``(P, 5)`` evidence matrix from a *variant-free* run.  Rows
+    are ``(uniform_quantile, observed_quantile)``; a conservative test shows
+    observed >= uniform everywhere.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 2 or z.shape[1] != 5:
+        raise ReproError(f"z must be (P, 5), got {z.shape}")
+    if n_quantiles < 2:
+        raise ReproError("need at least 2 quantiles")
+    depth = z.sum(axis=1)
+    ze = z[depth >= min_depth]
+    if ze.shape[0] < n_quantiles:
+        raise ReproError("too few tested positions for a QQ table")
+    pvals = chi2_pvalue(lrt_statistic_monoploid(ze))
+    grid = np.linspace(0.0, 1.0, n_quantiles + 1)[1:-1]
+    observed = np.quantile(pvals, grid)
+    return np.column_stack([grid, observed])
+
+
+def alpha_sweep(
+    z: np.ndarray,
+    reference_codes: np.ndarray,
+    alphas: "tuple[float, ...]" = (0.05, 0.01, 0.005, 0.001),
+    min_depth: float = 3.0,
+) -> list[AlphaSweepPoint]:
+    """False-call counts at several alpha levels on truth-free evidence.
+
+    ``z`` must come from reads of the *reference itself* (no variants), so
+    every SNP call is a false positive by construction.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    reference_codes = np.asarray(reference_codes)
+    if z.shape[0] != reference_codes.size:
+        raise ReproError("z and reference lengths differ")
+    depth = z.sum(axis=1)
+    n_tested = int((depth >= min_depth).sum())
+    out = []
+    for alpha in sorted(alphas, reverse=True):
+        caller = SNPCaller(CallerConfig(alpha=alpha, min_depth=min_depth))
+        snps = caller.snps(z, reference_codes)
+        out.append(
+            AlphaSweepPoint(alpha=alpha, n_tested=n_tested, n_false_calls=len(snps))
+        )
+    return out
+
+
+def is_conservative(points: "list[AlphaSweepPoint]", slack: float = 1.0) -> bool:
+    """True when every sweep point's observed rate <= alpha * (1 + slack)."""
+    return all(p.observed_rate <= p.alpha * (1.0 + slack) for p in points)

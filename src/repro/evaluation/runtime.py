@@ -1,0 +1,43 @@
+"""Throughput accounting — the sequences-per-second axis of Figs. 4 and 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Sequences-per-second at a given rank count."""
+
+    n_ranks: int
+    n_reads: int
+    seconds: float
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.seconds <= 0:
+            raise ReproError("cannot compute throughput for zero elapsed time")
+        return self.n_reads / self.seconds
+
+    def speedup_vs(self, baseline: "ThroughputReport") -> float:
+        """Throughput ratio against a (usually 1-rank) baseline."""
+        return self.reads_per_second / baseline.reads_per_second
+
+    def efficiency_vs(self, baseline: "ThroughputReport") -> float:
+        """Parallel efficiency: speedup / rank ratio."""
+        if self.n_ranks <= 0 or baseline.n_ranks <= 0:
+            raise ReproError("rank counts must be positive")
+        return self.speedup_vs(baseline) / (self.n_ranks / baseline.n_ranks)
+
+
+def throughput(n_ranks: int, n_reads: int, seconds: float) -> ThroughputReport:
+    """Convenience constructor with validation."""
+    if n_ranks <= 0:
+        raise ReproError(f"n_ranks must be positive, got {n_ranks}")
+    if n_reads < 0:
+        raise ReproError(f"n_reads must be non-negative, got {n_reads}")
+    if seconds <= 0:
+        raise ReproError(f"seconds must be positive, got {seconds}")
+    return ThroughputReport(n_ranks=n_ranks, n_reads=n_reads, seconds=seconds)

@@ -1,0 +1,11 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> rows`` (machine-readable) and
+``format(rows) -> str`` (the same rows the paper's table/figure reports, as
+text).  ``workload`` builds the scaled chrX-like dataset every experiment
+shares — see DESIGN.md §4 for the experiment-to-module index.
+"""
+
+from repro.experiments.workload import Workload, build_workload, SCALES
+
+__all__ = ["Workload", "build_workload", "SCALES"]

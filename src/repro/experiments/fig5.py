@@ -1,0 +1,90 @@
+"""Fig. 5 — sequences/second per processor count for each accumulator mode.
+
+Paper: red = perfect linear, black = NORM without discretisation, plus the
+CHARDISC and CENTDISC series.  All three scale near-linearly (read-spread
+mode); centroid discretisation runs slightly slower (every update pays a
+nearest-centroid search) while its reduction payloads are the smallest.
+
+Each mode gets its own compute calibration (the discretised accumulators
+genuinely cost more per update) and real reduction payloads, so both effects
+the paper describes are present in the virtual times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.experiments.workload import Workload, build_workload
+from repro.memory.footprint import OPTIMIZATIONS
+from repro.parallel.cluster import Cluster
+from repro.parallel.costmodel import LogGPModel
+from repro.pipeline.calibration import ComputeCalibration
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.parallel_driver import run_read_spread
+from repro.util.tables import format_table
+
+DEFAULT_RANKS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class Fig5Point:
+    n_ranks: int
+    optimization: str
+    seconds: float
+    reads_per_second: float
+    linear_reads_per_second: float
+
+    def as_list(self) -> list:
+        return [
+            self.n_ranks,
+            self.optimization,
+            round(self.seconds, 4),
+            round(self.reads_per_second, 1),
+            round(self.linear_reads_per_second, 1),
+        ]
+
+
+def run(
+    scale: str = "small",
+    seed: int = 2012,
+    ranks: "tuple[int, ...]" = DEFAULT_RANKS,
+    workload: Workload | None = None,
+) -> list[Fig5Point]:
+    """Regenerate the Fig. 5 series: read-spread scaling per memory mode."""
+    if not ranks or any(r < 1 for r in ranks):
+        raise ConfigError(f"invalid rank list {ranks}")
+    wl = workload or build_workload(scale=scale, seed=seed)
+    cost = LogGPModel()
+    calib_sample = wl.reads[: max(200, len(wl.reads) // 20)]
+
+    points: list[Fig5Point] = []
+    for opt in OPTIMIZATIONS:
+        config = PipelineConfig(accumulator=opt)
+        calibration = ComputeCalibration.measure(wl.reference, calib_sample, config)
+        base_rate: float | None = None
+        for p in ranks:
+            res = Cluster(p, cost).run(
+                run_read_spread, wl.reference, wl.reads, config, calibration
+            )
+            rate = len(wl.reads) / res.makespan
+            if base_rate is None:
+                base_rate = rate / p
+            points.append(
+                Fig5Point(
+                    n_ranks=p,
+                    optimization=opt,
+                    seconds=res.makespan,
+                    reads_per_second=rate,
+                    linear_reads_per_second=base_rate * p,
+                )
+            )
+    return points
+
+
+def format(points: "list[Fig5Point]") -> str:
+    return format_table(
+        ["ranks", "optimization", "sim seconds", "reads/s", "perfect linear reads/s"],
+        [p.as_list() for p in points],
+        title="Fig 5 - sequences processed/second by optimization",
+    )

@@ -1,0 +1,72 @@
+"""Table II — memory usage for the three accumulator modes.
+
+Paper rows: optimization | chrX | human, in GB of virtual memory.
+
+We report (a) the analytic projection at the paper's genome sizes and
+(b) measured live-buffer bytes per base on the scaled genome, which
+validates the per-base costs the projection uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.workload import Workload, build_workload
+from repro.index.hashindex import GenomeIndex
+from repro.memory.base import make_accumulator
+from repro.memory.footprint import (
+    CHRX_LENGTH,
+    HUMAN_LENGTH,
+    OPTIMIZATIONS,
+    FootprintModel,
+)
+from repro.util.tables import format_table
+
+
+@dataclass
+class Table2Row:
+    optimization: str
+    chrx_gb: float
+    human_gb: float
+    measured_bytes_per_base: float
+
+    def as_list(self) -> list:
+        return [
+            self.optimization,
+            f"{self.chrx_gb:.2f}g",
+            f"{self.human_gb:.0f}g",
+            f"{self.measured_bytes_per_base:.1f}",
+        ]
+
+
+def run(
+    scale: str = "small",
+    seed: int = 2012,
+    workload: Workload | None = None,
+) -> list[Table2Row]:
+    """Regenerate Table II (projected) with measured per-base validation."""
+    wl = workload or build_workload(scale=scale, seed=seed)
+    model = FootprintModel()
+    index = GenomeIndex(wl.reference)
+    glen = len(wl.reference)
+    rows = []
+    for opt in OPTIMIZATIONS:
+        acc = make_accumulator(opt, glen)
+        measured = (acc.nbytes() + index.nbytes() + glen) / glen
+        rows.append(
+            Table2Row(
+                optimization=opt,
+                chrx_gb=model.total_gb(opt, CHRX_LENGTH),
+                human_gb=model.total_gb(opt, HUMAN_LENGTH),
+                measured_bytes_per_base=measured,
+            )
+        )
+    return rows
+
+
+def format(rows: "list[Table2Row]") -> str:
+    return format_table(
+        ["optimization", "chrX (proj.)", "human (proj.)", "measured B/base"],
+        [r.as_list() for r in rows],
+        title="Table II - memory usage for optimizations",
+    )

@@ -1,0 +1,154 @@
+"""FASTQ reads with Phred+33 qualities.
+
+A :class:`Read` couples a code array with per-base Phred quality scores and
+remembers (when simulated) its true origin, which the evaluation layer uses
+to audit mapping accuracy.  Quality scores convert to per-base error
+probabilities via ``p_err = 10**(-Q/10)``; the PWM layer turns those into the
+4-column probability matrices the Pair-HMM consumes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, TextIO
+
+import numpy as np
+
+from repro.errors import FastqError
+from repro.genome.alphabet import decode, encode
+
+#: Sanger/Illumina-1.8 Phred offset.
+PHRED_OFFSET = 33
+#: Highest quality we emit / accept (Q41, Illumina ceiling).
+MAX_QUALITY = 41
+
+
+@dataclass
+class Read:
+    """One sequencing read.
+
+    Attributes
+    ----------
+    name:
+        Read identifier (no whitespace).
+    codes:
+        ``uint8`` base codes, length N.
+    quals:
+        ``uint8`` Phred scores, length N, each in ``[0, MAX_QUALITY]``.
+    true_pos:
+        0-based genome position of the read's first base when the read was
+        simulated, else ``None``.  Evaluation-only metadata.
+    true_strand:
+        ``+1`` forward / ``-1`` reverse when simulated, else ``0``.
+    """
+
+    name: str
+    codes: np.ndarray
+    quals: np.ndarray
+    true_pos: int | None = None
+    true_strand: int = 0
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=np.uint8)
+        self.quals = np.asarray(self.quals, dtype=np.uint8)
+        if self.codes.shape != self.quals.shape:
+            raise FastqError(
+                f"read {self.name!r}: {self.codes.size} bases but "
+                f"{self.quals.size} qualities"
+            )
+        if self.codes.ndim != 1:
+            raise FastqError(f"read {self.name!r}: codes must be 1-D")
+        if self.codes.size == 0:
+            raise FastqError(f"read {self.name!r} is empty")
+        if self.quals.size and self.quals.max() > MAX_QUALITY:
+            raise FastqError(
+                f"read {self.name!r}: quality {int(self.quals.max())} exceeds "
+                f"Q{MAX_QUALITY}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def sequence(self) -> str:
+        """The read as an upper-case string."""
+        return decode(self.codes)
+
+    @property
+    def quality_string(self) -> str:
+        """Phred+33 encoded quality string."""
+        return "".join(chr(PHRED_OFFSET + int(q)) for q in self.quals)
+
+    def error_probabilities(self) -> np.ndarray:
+        """Per-base error probability ``10**(-Q/10)`` as float64."""
+        return np.power(10.0, -self.quals.astype(np.float64) / 10.0)
+
+
+def iter_fastq(path_or_file: "str | Path | TextIO") -> Iterator[Read]:
+    """Yield :class:`Read` records from a FASTQ stream.
+
+    Strict four-line records; a truncated trailing record raises
+    :class:`FastqError` (failure injection tests rely on this).
+    """
+    owned = isinstance(path_or_file, (str, Path))
+    fh = open(path_or_file) if owned else path_or_file
+    try:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@"):
+                raise FastqError(f"expected '@' header, got {header[:30]!r}")
+            name = header[1:].split()[0] if len(header) > 1 else ""
+            if not name:
+                raise FastqError("empty FASTQ read name")
+            seq = fh.readline().rstrip("\n")
+            plus = fh.readline().rstrip("\n")
+            qual = fh.readline().rstrip("\n")
+            if not qual and not plus:
+                raise FastqError(f"truncated FASTQ record {name!r}")
+            if not plus.startswith("+"):
+                raise FastqError(f"record {name!r}: missing '+' separator")
+            if len(seq) != len(qual):
+                raise FastqError(
+                    f"record {name!r}: {len(seq)} bases vs {len(qual)} qualities"
+                )
+            quals = np.frombuffer(qual.encode("ascii"), dtype=np.uint8).astype(
+                np.int16
+            ) - PHRED_OFFSET
+            if quals.size and (quals.min() < 0 or quals.max() > MAX_QUALITY):
+                raise FastqError(
+                    f"record {name!r}: quality characters outside "
+                    f"[Q0, Q{MAX_QUALITY}]"
+                )
+            yield Read(name=name, codes=encode(seq), quals=quals.astype(np.uint8))
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_fastq(path_or_file: "str | Path | TextIO") -> list[Read]:
+    """Read all FASTQ records into a list."""
+    return list(iter_fastq(path_or_file))
+
+
+def write_fastq(path_or_file: "str | Path | TextIO", reads: "list[Read]") -> None:
+    """Write reads in four-line FASTQ format."""
+    owned = isinstance(path_or_file, (str, Path))
+    fh = open(path_or_file, "w") if owned else path_or_file
+    try:
+        for read in reads:
+            fh.write(f"@{read.name}\n{read.sequence}\n+\n{read.quality_string}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def fastq_string(reads: "list[Read]") -> str:
+    """Render reads to a FASTQ string (round-trips with the reader)."""
+    buf = io.StringIO()
+    write_fastq(buf, reads)
+    return buf.getvalue()

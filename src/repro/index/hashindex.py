@@ -1,0 +1,154 @@
+"""Genomic k-mer hash table (GNUMAP's "genomic hash table of k-mers").
+
+The index maps every packed k-mer to the sorted list of genome positions
+where it occurs, stored CSR-style in two NumPy arrays (positions +
+per-kmer offsets into them) rather than a dict of lists — this is both the
+memory layout the footprint model accounts for and the fast path for
+vectorised queries.
+
+Construction cost is one sort of the genome's k-mers; queries are
+O(log #kmers) binary searches into the sorted unique-kmer table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.genome.reference import Reference
+from repro.index.kmer import MAX_K, rolling_kmers
+
+#: GNUMAP's default mer-size.
+DEFAULT_K = 10
+
+
+class GenomeIndex:
+    """Exact-match k-mer index over a reference genome.
+
+    Parameters
+    ----------
+    reference:
+        The genome to index.
+    k:
+        mer-size (paper default 10).
+    max_positions_per_kmer:
+        k-mers occurring more often than this are dropped from the index
+        (standard repeat masking for seed-and-extend mappers; keeps highly
+        repetitive seeds from exploding candidate lists).  ``None`` keeps
+        everything.
+    """
+
+    def __init__(
+        self,
+        reference: Reference,
+        k: int = DEFAULT_K,
+        max_positions_per_kmer: int | None = 64,
+    ) -> None:
+        if not 1 <= k <= MAX_K:
+            raise IndexError_(f"k must be in [1, {MAX_K}], got {k}")
+        if len(reference) < k:
+            raise IndexError_(
+                f"genome of {len(reference)} bases shorter than k={k}"
+            )
+        if max_positions_per_kmer is not None and max_positions_per_kmer < 1:
+            raise IndexError_("max_positions_per_kmer must be >= 1 or None")
+        self.reference = reference
+        self.k = k
+        self.max_positions_per_kmer = max_positions_per_kmer
+
+        # Compact dtypes: genome positions and (for k <= 15) packed k-mers
+        # fit int32, which halves the index footprint — the paper's hash
+        # table is similarly position-dense.
+        pos_dtype = np.int32 if len(reference) < 2**31 else np.int64
+        kmer_dtype = np.int32 if 2 * k <= 31 else np.int64
+        packed, valid = rolling_kmers(reference.codes, k)
+        positions = np.nonzero(valid)[0].astype(pos_dtype)
+        kmers = packed[valid].astype(kmer_dtype)
+        order = np.argsort(kmers, kind="stable")
+        kmers = kmers[order]
+        positions = positions[order]
+
+        unique, starts, counts = np.unique(kmers, return_index=True, return_counts=True)
+        if max_positions_per_kmer is not None:
+            keep = counts <= max_positions_per_kmer
+            self.n_masked_kmers = int((~keep).sum())
+            if not keep.all():
+                keep_rows = np.zeros(kmers.size, dtype=bool)
+                for s, c in zip(starts[keep], counts[keep]):
+                    keep_rows[s : s + c] = True
+                kmers = kmers[keep_rows]
+                positions = positions[keep_rows]
+                unique, starts, counts = np.unique(
+                    kmers, return_index=True, return_counts=True
+                )
+        else:
+            self.n_masked_kmers = 0
+
+        # CSR layout: positions grouped by k-mer, offsets delimit the groups.
+        self._unique_kmers = unique
+        self._offsets = np.concatenate([starts, [kmers.size]]).astype(pos_dtype)
+        self._positions = positions
+
+    @property
+    def n_indexed_kmers(self) -> int:
+        """Number of distinct k-mers present in the index."""
+        return int(self._unique_kmers.size)
+
+    @property
+    def n_indexed_positions(self) -> int:
+        """Total genome positions stored across all k-mers."""
+        return int(self._positions.size)
+
+    def lookup(self, packed_kmer: int) -> np.ndarray:
+        """Genome positions where ``packed_kmer`` begins (possibly empty)."""
+        i = np.searchsorted(self._unique_kmers, packed_kmer)
+        if i >= self._unique_kmers.size or self._unique_kmers[i] != packed_kmer:
+            return np.empty(0, dtype=np.int64)
+        return self._positions[self._offsets[i] : self._offsets[i + 1]]
+
+    def lookup_many(self, packed_kmers: np.ndarray) -> list[np.ndarray]:
+        """Multi-kmer lookup: one position array per query."""
+        hits, qidx = self.lookup_flat(packed_kmers)
+        n = np.asarray(packed_kmers).size
+        out: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        if hits.size:
+            bounds = np.searchsorted(qidx, np.arange(n + 1))
+            for q in range(n):
+                if bounds[q + 1] > bounds[q]:
+                    out[q] = hits[bounds[q] : bounds[q + 1]]
+        return out
+
+    def lookup_flat(self, packed_kmers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fully vectorised batch lookup.
+
+        Returns ``(hit_positions, query_indices)`` — flat arrays where
+        ``hit_positions[t]`` is a genome hit for query
+        ``packed_kmers[query_indices[t]]``; entries are grouped by query in
+        ascending order.  This is the seeding hot path: no Python-level loop
+        over queries or hits.
+        """
+        queries = np.asarray(packed_kmers, dtype=np.int64)
+        if queries.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        idx = np.searchsorted(self._unique_kmers, queries)
+        idx_c = np.minimum(idx, self._unique_kmers.size - 1)
+        found = self._unique_kmers[idx_c] == queries
+        starts = self._offsets[idx_c].astype(np.int64)
+        counts = np.where(
+            found, self._offsets[idx_c + 1].astype(np.int64) - starts, 0
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        qidx = np.repeat(np.arange(queries.size), counts)
+        # offset of each output slot within its query's hit run
+        run_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        within = np.arange(total) - np.repeat(run_starts, counts)
+        hit_pos = self._positions[np.repeat(starts, counts) + within].astype(np.int64)
+        return hit_pos, qidx
+
+    def nbytes(self) -> int:
+        """Bytes held by the index arrays (used by the footprint model)."""
+        return int(
+            self._unique_kmers.nbytes + self._offsets.nbytes + self._positions.nbytes
+        )

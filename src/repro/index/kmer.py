@@ -1,0 +1,92 @@
+"""2-bit k-mer packing.
+
+k-mers over ``ACGT`` pack into 2 bits per base, so any k <= 31 fits one
+``int64``.  Windows containing ``N`` are unpackable and must be masked out by
+the caller; :func:`rolling_kmers` returns a validity mask alongside the
+packed values for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+#: Largest k that packs into a non-negative int64.
+MAX_K = 31
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise IndexError_(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def pack_kmer(codes: np.ndarray) -> int:
+    """Pack a length-k code array into an integer (first base most significant)."""
+    codes = np.asarray(codes)
+    _check_k(codes.size)
+    if (codes > 3).any():
+        raise IndexError_("cannot pack a k-mer containing N")
+    value = 0
+    for c in codes:
+        value = (value << 2) | int(c)
+    return value
+
+
+def unpack_kmer(value: int, k: int) -> np.ndarray:
+    """Inverse of :func:`pack_kmer`."""
+    _check_k(k)
+    if value < 0 or value >= (1 << (2 * k)):
+        raise IndexError_(f"packed value {value} out of range for k={k}")
+    out = np.empty(k, dtype=np.uint8)
+    for i in range(k - 1, -1, -1):
+        out[i] = value & 3
+        value >>= 2
+    return out
+
+
+def rolling_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """All packed k-mers of a sequence, vectorised.
+
+    Returns ``(packed, valid)`` where ``packed[i]`` is the k-mer starting at
+    position ``i`` (int64) and ``valid[i]`` is False when that window touches
+    an N (its packed value is then meaningless).  For sequences shorter than
+    ``k`` both arrays are empty.
+    """
+    _check_k(k)
+    codes = np.asarray(codes)
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    # sliding windows over the code array; N (code 4) is temporarily clamped
+    # to 0 so the dot product stays in range, then masked via `valid`.
+    is_n = codes > 3
+    clamped = np.where(is_n, 0, codes).astype(np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(clamped, k)
+    weights = (1 << (2 * np.arange(k - 1, -1, -1))).astype(np.int64)
+    packed = windows @ weights
+    n_windows = np.lib.stride_tricks.sliding_window_view(is_n, k)
+    valid = ~n_windows.any(axis=1)
+    return packed, valid
+
+
+class KmerCodec:
+    """Pack/unpack helper bound to a fixed k (object form of the functions)."""
+
+    def __init__(self, k: int) -> None:
+        _check_k(k)
+        self.k = k
+        self.n_kmers = 1 << (2 * k)
+
+    def pack(self, codes: np.ndarray) -> int:
+        if np.asarray(codes).size != self.k:
+            raise IndexError_(
+                f"expected a {self.k}-mer, got {np.asarray(codes).size} bases"
+            )
+        return pack_kmer(codes)
+
+    def unpack(self, value: int) -> np.ndarray:
+        return unpack_kmer(value, self.k)
+
+    def rolling(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return rolling_kmers(codes, self.k)

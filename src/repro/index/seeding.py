@@ -1,0 +1,148 @@
+"""Seed clustering: read k-mer hits -> candidate mapping regions.
+
+Each k-mer hit at genome position ``g`` for read offset ``r`` implies the
+read would start at diagonal ``g - r``.  Hits are grouped by (strand,
+binned diagonal); a group with enough distinct supporting k-mers becomes a
+:class:`CandidateRegion` handed to the Pair-HMM.  Both strands are always
+queried — the reverse-complemented read is seeded independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.genome.alphabet import reverse_complement
+from repro.genome.fastq import Read
+from repro.index.hashindex import GenomeIndex
+from repro.index.kmer import rolling_kmers
+
+
+@dataclass(frozen=True)
+class CandidateRegion:
+    """A putative mapping location for a read.
+
+    Attributes
+    ----------
+    start:
+        Estimated 0-based genome position of the read's first base.
+    strand:
+        +1: the read as given aligns forward; -1: its reverse complement does.
+    support:
+        Number of distinct read k-mers voting for this diagonal.
+    """
+
+    start: int
+    strand: int
+    support: int
+
+    def __post_init__(self) -> None:
+        if self.strand not in (-1, 1):
+            raise IndexError_(f"strand must be +-1, got {self.strand}")
+        if self.support < 1:
+            raise IndexError_("candidate support must be >= 1")
+
+
+@dataclass
+class SeederConfig:
+    """Seeding knobs.
+
+    Attributes
+    ----------
+    min_support:
+        Minimum distinct k-mer hits on a diagonal to emit a candidate.
+    diagonal_slack:
+        Hits within this many bases of diagonal are merged (absorbs indels).
+    max_candidates:
+        Keep at most this many candidates per read, best-supported first.
+    step:
+        Query every ``step``-th read k-mer (1 = all; larger is faster and
+        mimics spaced sampling).
+    """
+
+    min_support: int = 2
+    diagonal_slack: int = 3
+    max_candidates: int = 16
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1:
+            raise IndexError_("min_support must be >= 1")
+        if self.diagonal_slack < 0:
+            raise IndexError_("diagonal_slack must be >= 0")
+        if self.max_candidates < 1:
+            raise IndexError_("max_candidates must be >= 1")
+        if self.step < 1:
+            raise IndexError_("step must be >= 1")
+
+
+class Seeder:
+    """Finds candidate mapping regions for reads against a genome index."""
+
+    def __init__(self, index: GenomeIndex, config: SeederConfig | None = None) -> None:
+        self.index = index
+        self.config = config or SeederConfig()
+
+    def candidates(self, read: Read) -> list[CandidateRegion]:
+        """All candidate regions for ``read``, both strands, best first.
+
+        Reads shorter than k yield no candidates.
+        """
+        out: list[CandidateRegion] = []
+        out.extend(self._one_strand(read.codes, strand=1))
+        out.extend(self._one_strand(reverse_complement(read.codes), strand=-1))
+        out.sort(key=lambda c: (-c.support, c.start, c.strand))
+        return out[: self.config.max_candidates]
+
+    def _one_strand(self, codes: np.ndarray, strand: int) -> list[CandidateRegion]:
+        k = self.index.k
+        packed, valid = rolling_kmers(codes, k)
+        if packed.size == 0:
+            return []
+        cfg = self.config
+        offsets = np.arange(packed.size)[:: cfg.step]
+        keep = valid[offsets]
+        offsets = offsets[keep]
+        if offsets.size == 0:
+            return []
+        hit_pos, qidx = self.index.lookup_flat(packed[offsets])
+        if hit_pos.size == 0:
+            return []
+        offs = offsets[qidx]
+        diags = hit_pos - offs
+        # Distinct (diagonal, offset) support pairs, then per-diagonal vote
+        # counts — all in NumPy; Python only touches the (few) unique
+        # diagonals during slack clustering.
+        span = int(codes.size)  # offsets < span, so this key is injective
+        keys = np.unique(diags * span + offs)
+        pair_diags = keys // span
+        udiags, votes = np.unique(pair_diags, return_counts=True)
+
+        clusters: list[tuple[int, int]] = []  # (representative diag, votes)
+        cur_rep = int(udiags[0])
+        cur_best_votes = int(votes[0])
+        cur_total = int(votes[0])
+        prev = int(udiags[0])
+        for d, v in zip(udiags[1:].tolist(), votes[1:].tolist()):
+            if d - prev <= cfg.diagonal_slack:
+                cur_total += v
+                if v > cur_best_votes:
+                    cur_best_votes, cur_rep = v, d
+            else:
+                clusters.append((cur_rep, cur_total))
+                cur_rep, cur_best_votes, cur_total = d, v, v
+            prev = d
+        clusters.append((cur_rep, cur_total))
+
+        out = []
+        glen = len(self.index.reference)
+        for rep, total_votes in clusters:
+            if total_votes < cfg.min_support:
+                continue
+            start = min(max(rep, -(codes.size - 1)), glen - 1)
+            out.append(
+                CandidateRegion(start=start, strand=strand, support=total_votes)
+            )
+        return out

@@ -1,0 +1,5 @@
+"""Interchange formats beyond FASTA/FASTQ/VCF: SAM alignment output."""
+
+from repro.io.sam import Placement, collect_placements, write_sam
+
+__all__ = ["Placement", "collect_placements", "write_sam"]

@@ -1,0 +1,34 @@
+"""Genome accumulators and the paper's memory optimisations.
+
+Three interchangeable accumulator implementations store the per-base
+evidence ``z = (z_A, z_C, z_G, z_T, z_gap)``:
+
+``DenseAccumulator`` (paper: NORM)
+    Five float32 values per base — the reference implementation.
+``ByteAccumulator`` (paper: CHARDISC, "nucleotide-byte discretisation")
+    One float32 total per base plus five single-byte fractions.
+``CentroidAccumulator`` (paper: CENTDISC, "centroid discretisation")
+    One float32 total plus a single byte indexing a 256-entry codebook of
+    biologically plausible base distributions, with a precomputed 256x256
+    reduction lookup table.
+
+All three share the :class:`~repro.memory.base.Accumulator` interface, so the
+pipeline and the parallel reductions are implementation-agnostic.
+"""
+
+from repro.memory.base import Accumulator, make_accumulator
+from repro.memory.dense import DenseAccumulator
+from repro.memory.chardisc import ByteAccumulator
+from repro.memory.centdisc import CentroidAccumulator, CentroidCodebook
+from repro.memory.footprint import FootprintModel, OPTIMIZATIONS
+
+__all__ = [
+    "Accumulator",
+    "make_accumulator",
+    "DenseAccumulator",
+    "ByteAccumulator",
+    "CentroidAccumulator",
+    "CentroidCodebook",
+    "FootprintModel",
+    "OPTIMIZATIONS",
+]

@@ -1,0 +1,109 @@
+"""Analytic memory-footprint model (regenerates Table II).
+
+The paper reports *virtual memory* for whole runs (genome + hash table +
+accumulator); our scaled runs measure live buffer bytes directly, and this
+model extrapolates per-base costs to the paper's genome sizes (155 Mbp chrX,
+3.1 Gbp human).
+
+Per-base byte costs:
+
+===========  =========================================  =====
+component    layout                                     bytes
+===========  =========================================  =====
+genome       1 byte code per base                        1.0
+hash index   CSR positions (int64) ~1/base + offsets     9.7
+NORM         5 x float32                                20.0
+CHARDISC     float32 total + 5 bytes                     9.0
+CENTDISC     float32 total + 1 byte index                5.0
+===========  =========================================  =====
+
+The 9.7 B/base index overhead is calibrated so NORM on chrX reproduces the
+paper's 4.76 GB.  The paper's own CHARDISC/CENTDISC rows are internally
+inconsistent (Table II says 2.91 GB for CENTDISC-chrX, Table III says
+2.01 GB for the same configuration); our model lands between them and
+preserves the ordering NORM > CHARDISC > CENTDISC, which is the claim under
+test.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AccumulatorError
+
+#: Accumulator modes in the paper's presentation order.
+OPTIMIZATIONS: tuple[str, ...] = ("NORM", "CHARDISC", "CENTDISC")
+
+#: Accumulator bytes per base, by mode.
+ACCUMULATOR_BYTES: dict[str, float] = {
+    "NORM": 20.0,
+    "CHARDISC": 9.0,
+    "CENTDISC": 5.0,
+    # the exact-weight fix has the identical layout
+    "CENTDISC_WEIGHTED": 5.0,
+}
+
+#: Paper-scale genome lengths (bases).
+CHRX_LENGTH = 155_000_000
+HUMAN_LENGTH = 3_100_000_000
+
+
+@dataclass
+class FootprintModel:
+    """Per-base cost model; ``index_bytes_per_base`` is the calibrated overhead."""
+
+    genome_bytes_per_base: float = 1.0
+    index_bytes_per_base: float = 9.7
+
+    def bytes_per_base(self, optimization: str) -> float:
+        """Total bytes per genome base for one accumulator mode."""
+        key = optimization.upper()
+        if key not in ACCUMULATOR_BYTES:
+            raise AccumulatorError(
+                f"unknown optimization {optimization!r}; "
+                f"choose from {OPTIMIZATIONS}"
+            )
+        return (
+            self.genome_bytes_per_base
+            + self.index_bytes_per_base
+            + ACCUMULATOR_BYTES[key]
+        )
+
+    def total_bytes(self, optimization: str, genome_length: int) -> float:
+        """Projected footprint in bytes for a genome of ``genome_length``."""
+        if genome_length <= 0:
+            raise AccumulatorError("genome_length must be positive")
+        return self.bytes_per_base(optimization) * genome_length
+
+    def total_gb(self, optimization: str, genome_length: int) -> float:
+        """Projected footprint in GB (decimal, as the paper reports)."""
+        return self.total_bytes(optimization, genome_length) / 1e9
+
+    def per_rank_gb(
+        self, optimization: str, genome_length: int, n_ranks: int
+    ) -> float:
+        """Footprint per rank when the genome is spread over ``n_ranks``.
+
+        Memory-spread mode divides the genome+accumulator state evenly; the
+        read-spread mode replicates it (use ``n_ranks=1``).
+        """
+        if n_ranks <= 0:
+            raise AccumulatorError("n_ranks must be positive")
+        return self.total_gb(optimization, genome_length) / n_ranks
+
+    @staticmethod
+    def measure(accumulator, index=None, genome_length: int | None = None) -> dict:
+        """Measured live-buffer bytes for real objects (scaled runs).
+
+        Returns a dict with ``accumulator_bytes``, optional ``index_bytes``
+        and, when ``genome_length`` is given, ``bytes_per_base``.
+        """
+        out = {"accumulator_bytes": int(accumulator.nbytes())}
+        total = out["accumulator_bytes"]
+        if index is not None:
+            out["index_bytes"] = int(index.nbytes())
+            total += out["index_bytes"]
+        out["total_bytes"] = total
+        if genome_length:
+            out["bytes_per_base"] = total / genome_length
+        return out

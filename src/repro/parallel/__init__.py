@@ -1,0 +1,39 @@
+"""Parallel substrate: an mpi4py-flavoured communicator with virtual time.
+
+This machine has one CPU core and no MPI, so the paper's cluster experiments
+run on a *simulated* cluster (see DESIGN.md §2): rank programs execute as
+real concurrent threads against :class:`~repro.parallel.comm.ThreadComm`
+(real message passing, real reductions, real data), while a per-rank
+:class:`~repro.parallel.clock.VirtualClock` advances by a calibrated LogGP
+cost model for compute and communication.  Speedup figures read the virtual
+clocks; correctness tests compare parallel results bit-for-bit against
+serial execution.
+
+The ``Comm`` API mirrors mpi4py (``send/recv/bcast/scatter/gather/
+allgather/allreduce/barrier``) so the programs would port to real mpi4py
+verbatim.
+"""
+
+from repro.parallel.costmodel import LogGPModel, payload_nbytes
+from repro.parallel.clock import VirtualClock
+from repro.parallel.comm import Comm, ThreadComm
+from repro.parallel.cluster import Cluster, ClusterResult
+from repro.parallel.partition import (
+    partition_reads_contiguous,
+    partition_reads_round_robin,
+)
+from repro.parallel.reduction import allreduce_accumulator, reduce_accumulator
+
+__all__ = [
+    "LogGPModel",
+    "payload_nbytes",
+    "VirtualClock",
+    "Comm",
+    "ThreadComm",
+    "Cluster",
+    "ClusterResult",
+    "partition_reads_contiguous",
+    "partition_reads_round_robin",
+    "allreduce_accumulator",
+    "reduce_accumulator",
+]

@@ -1,0 +1,34 @@
+"""Per-rank virtual clocks for the simulated cluster.
+
+Each rank owns a :class:`VirtualClock`; compute is *accounted* (the program
+tells the clock how much model time its work costs — calibrated against real
+measured throughput), and the communicator advances clocks according to the
+LogGP cost model and message-matching semantics (a receive completes no
+earlier than the matching send's departure plus transfer time).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommError
+
+
+class VirtualClock:
+    """Monotone per-rank simulated-time counter (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def account(self, seconds: float) -> None:
+        """Advance by computed work time."""
+        if seconds < 0:
+            raise CommError(f"cannot account negative time ({seconds})")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp

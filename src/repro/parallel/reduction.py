@@ -1,0 +1,66 @@
+"""Genome-state reductions over the communicator.
+
+At the end of a read-spread run every rank holds a partial accumulator for
+the whole genome; the states must be merged ("each of the machines will
+communicate the state of their genome and SNPs will be called accordingly").
+The reduction ships accumulators in their buffer form
+(:meth:`~repro.memory.base.Accumulator.to_buffers`) so the cost model sees
+the true payload sizes — which is exactly where CHARDISC/CENTDISC win:
+their buffers are 2.2x / 4x smaller than NORM's.
+
+Merging discretised accumulators uses each implementation's own ``merge``
+(the CENTDISC path goes through the precomputed 256x256 LUT when totals are
+comparable).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommError
+from repro.memory.base import Accumulator
+from repro.parallel.comm import Comm
+
+
+def _merge_buffers(acc_type, length: int):
+    """Binary reduction operator over accumulator buffer dicts."""
+
+    def op(a: dict, b: dict) -> dict:
+        left = acc_type.from_buffers(length, a)
+        right = acc_type.from_buffers(length, b)
+        left.merge(right)
+        return left.to_buffers()
+
+    return op
+
+
+def reduce_accumulator(comm: Comm, acc: Accumulator, root: int = 0) -> "Accumulator | None":
+    """Tree-reduce accumulators to ``root``; returns the merged one there.
+
+    Non-root ranks return ``None``.  All ranks must pass same-type,
+    same-length accumulators.
+    """
+    _check(comm, acc)
+    buffers = comm.reduce(
+        acc.to_buffers(), _merge_buffers(type(acc), acc.length), root=root
+    )
+    if comm.rank != root:
+        return None
+    return type(acc).from_buffers(acc.length, buffers)
+
+
+def allreduce_accumulator(comm: Comm, acc: Accumulator) -> Accumulator:
+    """Reduce-to-all: every rank receives the fully merged accumulator."""
+    _check(comm, acc)
+    buffers = comm.allreduce(
+        acc.to_buffers(), _merge_buffers(type(acc), acc.length)
+    )
+    return type(acc).from_buffers(acc.length, buffers)
+
+
+def _check(comm: Comm, acc: Accumulator) -> None:
+    meta = comm.allgather((type(acc).__name__, acc.length))
+    names = {m[0] for m in meta}
+    lengths = {m[1] for m in meta}
+    if len(names) != 1 or len(lengths) != 1:
+        raise CommError(
+            f"ranks disagree on accumulator type/length: {sorted(meta)}"
+        )

@@ -1,0 +1,132 @@
+"""High-level alignment API: one read, or a batch of (read, window) pairs.
+
+The pipeline aligns in batches: all (read, candidate-window) pairs of equal
+read length N and window length M are stacked and pushed through one
+forward/backward pass.  Windows clipped by genome edges are padded with ``N``
+codes (uniform emission) and a validity mask marks pad columns so their
+posterior mass is never accumulated into the genome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.genome.alphabet import N as CODE_N
+from repro.phmm.forward_backward import (
+    backward_batch,
+    emissions_batch,
+    forward_batch,
+)
+from repro.phmm.model import PHMMParams
+from repro.phmm.posterior import PosteriorResult, posteriors_batch, z_vectors
+
+
+@dataclass
+class AlignmentOutcome:
+    """Result of aligning a batch of (read, window) pairs.
+
+    Attributes
+    ----------
+    z:
+        ``(B, M, 5)`` per-pair z contributions in channel order (A,C,G,T,gap).
+    loglik:
+        ``(B,)`` total alignment log-likelihoods (the mapping scores).
+    occupancy:
+        ``(B, M)`` coverage probability per window position.
+    posterior:
+        Full :class:`PosteriorResult` for callers that need raw masses.
+    """
+
+    z: np.ndarray
+    loglik: np.ndarray
+    occupancy: np.ndarray
+    posterior: PosteriorResult
+
+
+def build_windows(
+    genome_codes: np.ndarray,
+    starts: np.ndarray,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract fixed-width windows, padding beyond genome edges with N.
+
+    Returns ``(windows, valid)`` of shapes ``(B, width)``: ``windows`` holds
+    codes (pad columns are ``N``), ``valid`` is False on pad columns.  The
+    genome position of window column ``j`` of pair ``b`` is
+    ``starts[b] + j`` (possibly outside ``[0, len(genome))`` on pad columns).
+    """
+    genome_codes = np.asarray(genome_codes)
+    starts = np.asarray(starts, dtype=np.int64)
+    if width <= 0:
+        raise AlignmentError(f"window width must be positive, got {width}")
+    if starts.ndim != 1:
+        raise AlignmentError("starts must be 1-D")
+    glen = genome_codes.size
+    cols = starts[:, None] + np.arange(width)[None, :]
+    valid = (cols >= 0) & (cols < glen)
+    clipped = np.clip(cols, 0, glen - 1)
+    windows = genome_codes[clipped].astype(np.uint8)
+    windows[~valid] = CODE_N
+    return windows, valid
+
+
+def align_batch(
+    pwms: np.ndarray,
+    windows: np.ndarray,
+    params: PHMMParams,
+    mode: str = "semiglobal",
+    edge_policy: str = "mass",
+    valid: np.ndarray | None = None,
+) -> AlignmentOutcome:
+    """Align a batch of equal-shape (PWM, window) pairs.
+
+    Parameters
+    ----------
+    pwms:
+        ``(B, N, 4)`` read PWMs.
+    windows:
+        ``(B, M)`` window codes.
+    valid:
+        Optional ``(B, M)`` bool mask; z mass on False columns is zeroed
+        (used for genome-edge pad columns).
+    """
+    pwms = np.asarray(pwms, dtype=np.float64)
+    windows = np.asarray(windows)
+    pstar = emissions_batch(pwms, windows, params)
+    fwd = forward_batch(pstar, params, mode=mode)
+    bwd = backward_batch(pstar, params, mode=mode)
+    post = posteriors_batch(pstar, pwms, windows, fwd, bwd, params)
+    z = z_vectors(post, edge_policy=edge_policy)
+    if valid is not None:
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape != windows.shape:
+            raise AlignmentError(
+                f"valid mask shape {valid.shape} != windows shape {windows.shape}"
+            )
+        z = z * valid[:, :, None]
+    return AlignmentOutcome(
+        z=z, loglik=fwd.loglik, occupancy=post.occupancy, posterior=post
+    )
+
+
+def align_read(
+    pwm: np.ndarray,
+    window: np.ndarray,
+    params: PHMMParams,
+    mode: str = "semiglobal",
+    edge_policy: str = "mass",
+) -> AlignmentOutcome:
+    """Convenience single-pair wrapper around :func:`align_batch`.
+
+    Returns the same batched structure with ``B = 1``.
+    """
+    pwm = np.asarray(pwm, dtype=np.float64)
+    window = np.asarray(window)
+    if pwm.ndim != 2:
+        raise AlignmentError(f"pwm must be (N, 4), got {pwm.shape}")
+    if window.ndim != 1:
+        raise AlignmentError(f"window must be 1-D, got {window.shape}")
+    return align_batch(pwm[None], window[None], params, mode=mode, edge_policy=edge_policy)

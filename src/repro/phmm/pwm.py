@@ -1,0 +1,86 @@
+"""Position-weight matrices from read qualities.
+
+The paper's quality-aware emission is ``p*(i,j) = sum_k r_ik p_{k, y_j}``
+where ``r_ik`` is the probability that the true base at read position ``i``
+is ``k`` given the sequencer's call and quality.  With a called base ``c`` of
+error probability ``e``, the standard decomposition is ``r_ic = 1 - e`` and
+``r_ik = e / 3`` for the other three bases — a proper distribution per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genome.fastq import Read
+
+
+def pwm_from_read(read: Read) -> np.ndarray:
+    """Build an ``(N, 4)`` PWM from a read's bases and qualities.
+
+    Row ``i`` is the probability distribution of the true base at position
+    ``i``: ``1 - e_i`` on the called base, ``e_i / 3`` elsewhere.
+    """
+    return pwm_from_codes(read.codes, read.error_probabilities())
+
+
+def pwm_from_codes(codes: np.ndarray, error_probs: np.ndarray) -> np.ndarray:
+    """PWM from raw codes and per-base error probabilities.
+
+    Raises :class:`SequenceError` on shape mismatch, out-of-range
+    probabilities, or N bases (reads never contain N in this pipeline).
+    """
+    codes = np.asarray(codes)
+    errs = np.asarray(error_probs, dtype=np.float64)
+    if codes.shape != errs.shape or codes.ndim != 1:
+        raise SequenceError("codes and error_probs must be equal-length 1-D")
+    if codes.size == 0:
+        raise SequenceError("cannot build a PWM for an empty read")
+    if (codes > 3).any():
+        raise SequenceError("reads must not contain N bases")
+    if (errs < 0).any() or (errs > 1).any():
+        raise SequenceError("error probabilities must lie in [0, 1]")
+    n = codes.size
+    pwm = np.tile((errs / 3.0)[:, None], (1, 4))
+    pwm[np.arange(n), codes] = 1.0 - errs
+    return pwm
+
+
+def flat_pwm(codes: np.ndarray) -> np.ndarray:
+    """Quality-blind PWM: probability 1 on the called base.
+
+    Used by the quality-awareness ablation — this is what a mapper that
+    ignores quality scores effectively assumes.
+    """
+    codes = np.asarray(codes)
+    if (codes > 3).any():
+        raise SequenceError("reads must not contain N bases")
+    pwm = np.zeros((codes.size, 4))
+    pwm[np.arange(codes.size), codes] = 1.0
+    return pwm
+
+
+def reverse_complement_pwm(pwm: np.ndarray) -> np.ndarray:
+    """PWM of the reverse-complemented read.
+
+    Rows reverse (3'->5') and columns swap A<->T, C<->G, so that
+    ``rc(pwm)[i, k]`` is the probability the reverse-complement read's base
+    ``i`` is ``k``.
+    """
+    pwm = np.asarray(pwm)
+    if pwm.ndim != 2 or pwm.shape[1] != 4:
+        raise SequenceError(f"PWM must be (N, 4), got {pwm.shape}")
+    # complement permutation over columns A,C,G,T -> T,G,C,A
+    return pwm[::-1, [3, 2, 1, 0]].copy()
+
+
+def validate_pwm(pwm: np.ndarray, atol: float = 1e-8) -> None:
+    """Raise :class:`SequenceError` unless each row is a distribution."""
+    pwm = np.asarray(pwm)
+    if pwm.ndim != 2 or pwm.shape[1] != 4:
+        raise SequenceError(f"PWM must be (N, 4), got {pwm.shape}")
+    if (pwm < -atol).any():
+        raise SequenceError("PWM has negative entries")
+    sums = pwm.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise SequenceError("PWM rows must sum to 1")

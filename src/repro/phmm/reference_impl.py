@@ -1,0 +1,192 @@
+"""Slow reference implementations used as numerical oracles in tests.
+
+Nothing here is called by the pipeline.  Three levels of oracle:
+
+* :func:`forward_naive` / :func:`backward_naive` — the same recursions as the
+  vectorised code, written as explicit triple loops in plain probability
+  space with `float128`-free long doubles avoided (float64 is fine at oracle
+  scale), no scaling, no batching.
+* :func:`loglik_bruteforce` — enumerate *every* alignment path of tiny
+  problems and add up their probabilities.  This validates the recursions
+  themselves, not just the vectorisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.phmm.model import PHMMParams
+
+
+def emissions_naive(pwm: np.ndarray, window: np.ndarray, params: PHMMParams) -> np.ndarray:
+    """Loop-based ``p*`` for a single pair: ``(N, M)``."""
+    pwm = np.asarray(pwm, dtype=np.float64)
+    window = np.asarray(window)
+    N, M = pwm.shape[0], window.shape[0]
+    out = np.zeros((N, M))
+    for i in range(N):
+        for j in range(M):
+            out[i, j] = sum(
+                pwm[i, k] * params.emission[k, int(window[j])] for k in range(4)
+            )
+    return out
+
+
+def forward_naive(
+    pstar: np.ndarray, params: PHMMParams, mode: str = "semiglobal"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Unscaled forward DP; returns ``(fM, fGX, fGY, likelihood)``."""
+    N, M = pstar.shape
+    q, TMM, TMG, TGM, TGG = params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG
+    fM = np.zeros((N + 1, M + 1))
+    fGX = np.zeros((N + 1, M + 1))
+    fGY = np.zeros((N + 1, M + 1))
+    if mode == "semiglobal":
+        fM[0, :] = 1.0
+    elif mode == "global":
+        fM[0, 0] = 1.0
+    else:
+        raise AlignmentError(f"unknown mode {mode!r}")
+    for i in range(1, N + 1):
+        for j in range(0, M + 1):
+            if j >= 1:
+                fM[i, j] = pstar[i - 1, j - 1] * (
+                    TMM * fM[i - 1, j - 1]
+                    + TGM * (fGX[i - 1, j - 1] + fGY[i - 1, j - 1])
+                )
+            fGX[i, j] = q * (TMG * fM[i - 1, j] + TGG * fGX[i - 1, j])
+            if j >= 1:
+                fGY[i, j] = q * (TMG * fM[i, j - 1] + TGG * fGY[i, j - 1])
+    if mode == "semiglobal":
+        like = float(fM[N, :].sum() + fGX[N, :].sum())
+    else:
+        # Row-N G_Y chain consumes trailing genome bases.
+        for j in range(1, M + 1):
+            fGY[N, j] = q * (TMG * fM[N, j - 1] + TGG * fGY[N, j - 1])
+        like = float(fM[N, M] + fGX[N, M] + fGY[N, M])
+    return fM, fGX, fGY, like
+
+
+def backward_naive(
+    pstar: np.ndarray, params: PHMMParams, mode: str = "semiglobal"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unscaled backward DP; returns ``(bM, bGX, bGY)``."""
+    N, M = pstar.shape
+    q, TMM, TMG, TGM, TGG = params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG
+    bM = np.zeros((N + 1, M + 1))
+    bGX = np.zeros((N + 1, M + 1))
+    bGY = np.zeros((N + 1, M + 1))
+    if mode == "semiglobal":
+        bM[N, :] = 1.0
+        bGX[N, :] = 1.0
+    elif mode == "global":
+        bM[N, M] = 1.0
+        bGX[N, M] = 1.0
+        bGY[N, M] = 1.0
+        for j in range(M - 1, -1, -1):
+            bGY[N, j] = q * TGG * bGY[N, j + 1]
+        for j in range(M - 1, -1, -1):
+            # M at (N, j < M) finishes through the trailing G_Y chain.
+            bM[N, j] = q * params.T_MG * bGY[N, j + 1]
+    else:
+        raise AlignmentError(f"unknown mode {mode!r}")
+
+    def p(i: int, j: int) -> float:
+        # p*(i+1, j+1) with the paper's zero padding beyond the matrix.
+        if i < N and j < M:
+            return float(pstar[i, j])
+        return 0.0
+
+    for i in range(N - 1, -1, -1):
+        if i > 0:
+            # Row 0 keeps b_GY = 0: f_GY(0, j) = 0 under both start
+            # conventions, so G_Y cells before the first read base are
+            # unreachable and must not feed b_M(0, j).
+            for j in range(M, -1, -1):
+                gy_next = bGY[i, j + 1] if j + 1 <= M else 0.0
+                bm_next = bM[i + 1, j + 1] if j + 1 <= M else 0.0
+                bGY[i, j] = p(i, j) * TGM * bm_next + q * TGG * gy_next
+        for j in range(M, -1, -1):
+            gy_next = bGY[i, j + 1] if j + 1 <= M else 0.0
+            bm_next = bM[i + 1, j + 1] if j + 1 <= M else 0.0
+            bM[i, j] = p(i, j) * TMM * bm_next + q * params.T_MG * (
+                bGX[i + 1, j] + gy_next
+            )
+            bGX[i, j] = p(i, j) * TGM * bm_next + q * TGG * bGX[i + 1, j]
+    return bM, bGX, bGY
+
+
+def loglik_bruteforce(
+    pstar: np.ndarray, params: PHMMParams, mode: str = "semiglobal"
+) -> float:
+    """Sum the probability of every alignment path (tiny inputs only).
+
+    Enumerates state paths recursively; complexity is exponential, so inputs
+    are limited to ``N * M <= 49``.
+    """
+    N, M = pstar.shape
+    if N * M > 49:
+        raise AlignmentError("bruteforce oracle limited to N*M <= 49")
+    q = params.q
+    trans = {
+        ("M", "M"): params.T_MM,
+        ("M", "GX"): params.T_MG,
+        ("M", "GY"): params.T_MG,
+        ("GX", "M"): params.T_GM,
+        ("GX", "GX"): params.T_GG,
+        ("GY", "M"): params.T_GM,
+        ("GY", "GY"): params.T_GG,
+    }
+
+    def emit(state: str, i: int, j: int) -> float:
+        # Emission of the *arrival* cell: M consumes (x_i, y_j), gaps emit q.
+        if state == "M":
+            return float(pstar[i - 1, j - 1])
+        return q
+
+    total = 0.0
+
+    def walk(state: str, i: int, j: int, weight: float) -> None:
+        nonlocal total
+        at_end = i == N
+        if mode == "semiglobal":
+            if at_end and state in ("M", "GX"):
+                total += weight
+            if at_end:
+                return
+        else:
+            if i == N and j == M:
+                total += weight
+                return
+        for nxt in ("M", "GX", "GY"):
+            t = trans.get((state, nxt))
+            if t is None:
+                continue
+            if i == 0 and nxt == "GY":
+                # f_GY(0, j) = 0 under both start conventions: in semiglobal
+                # mode the free genome prefix is modelled by the choice of
+                # start column j0; in global mode the paper's initialisation
+                # zeroes the whole border, forbidding leading genome gaps.
+                continue
+            ni, nj = i, j
+            if nxt == "M":
+                ni, nj = i + 1, j + 1
+            elif nxt == "GX":
+                ni = i + 1
+            else:
+                nj = j + 1
+            if ni > N or nj > M:
+                continue
+            walk(nxt, ni, nj, weight * t * emit(nxt, ni, nj))
+
+    if mode == "semiglobal":
+        # Paths start in M at (1, j) for any j, or open a leading read gap.
+        for j0 in range(0, M + 1):
+            # Starting cell acts as if preceded by a virtual M with weight 1:
+            # first move uses the M-row transitions, exactly like f_M(0,j)=1.
+            walk("M", 0, j0, 1.0)
+    else:
+        walk("M", 0, 0, 1.0)
+    with np.errstate(divide="ignore"):
+        return float(np.log(total)) if total > 0 else float("-inf")

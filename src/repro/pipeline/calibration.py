@@ -1,0 +1,112 @@
+"""Compute-cost calibration for the simulated cluster.
+
+The virtual-time engine needs to know how long this machine takes to do the
+pipeline's work so that simulated ranks can *account* compute instead of
+racing each other for the single physical core.
+:meth:`ComputeCalibration.measure` runs the real pipeline on a sample and
+extracts per-unit costs; the parallel drivers then charge
+``n_local_reads * seconds_per_seed + n_local_pairs * seconds_per_pair``
+(etc.) to each rank's clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import PipelineError
+from repro.genome.fastq import Read
+from repro.genome.reference import Reference
+
+
+@dataclass(frozen=True)
+class ComputeCalibration:
+    """Measured per-unit compute costs (seconds).
+
+    Attributes
+    ----------
+    seconds_per_seed:
+        Seeding cost per read (index queries + diagonal clustering).
+    seconds_per_pair:
+        Alignment + accumulation cost per (read, candidate) pair.
+    pairs_per_read:
+        Mean candidate count per read in the calibration sample (used when a
+        caller only knows read counts).
+    seconds_per_index_base:
+        Index-construction cost per genome base.
+    seconds_per_called_position:
+        LRT cost per genome position.
+    """
+
+    seconds_per_seed: float
+    seconds_per_pair: float
+    pairs_per_read: float
+    seconds_per_index_base: float
+    seconds_per_called_position: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "seconds_per_seed",
+            "seconds_per_pair",
+            "pairs_per_read",
+            "seconds_per_index_base",
+            "seconds_per_called_position",
+        ):
+            if getattr(self, name) < 0:
+                raise PipelineError(f"{name} must be non-negative")
+
+    @property
+    def seconds_per_read(self) -> float:
+        """End-to-end mapping cost per read at the calibrated candidate rate."""
+        return self.seconds_per_seed + self.pairs_per_read * self.seconds_per_pair
+
+    def mapping_seconds(self, n_reads: int, n_pairs: int | None = None) -> float:
+        """Compute charge for seeding ``n_reads`` and aligning ``n_pairs``."""
+        if n_pairs is None:
+            n_pairs = int(round(n_reads * self.pairs_per_read))
+        return n_reads * self.seconds_per_seed + n_pairs * self.seconds_per_pair
+
+    def index_seconds(self, genome_length: int) -> float:
+        return genome_length * self.seconds_per_index_base
+
+    def calling_seconds(self, n_positions: int) -> float:
+        return n_positions * self.seconds_per_called_position
+
+    @classmethod
+    def measure(
+        cls,
+        reference: Reference,
+        reads: "list[Read]",
+        config=None,
+    ) -> "ComputeCalibration":
+        """Calibrate by timing one real serial run on a read sample."""
+        from repro.pipeline.gnumap import GnumapSnp
+        from repro.util.timers import TimerRegistry
+
+        if not reads:
+            raise PipelineError("need at least one read to calibrate")
+        t0 = time.perf_counter()
+        pipe = GnumapSnp(reference, config)
+        t_index = time.perf_counter() - t0
+
+        # First pass warms NumPy/SciPy dispatch caches; the timed second pass
+        # is what we calibrate on.
+        pipe.map_reads(reads)
+        timers = TimerRegistry()
+        acc, stats = pipe.map_reads(reads, timers=timers)
+
+        t1 = time.perf_counter()
+        pipe.call_snps(acc)
+        t_call = time.perf_counter() - t1
+
+        n_pairs = max(stats.n_pairs, 1)
+        return cls(
+            seconds_per_seed=timers["seed"].elapsed / max(stats.n_reads, 1),
+            seconds_per_pair=(
+                timers["align"].elapsed + timers["accumulate"].elapsed
+            )
+            / n_pairs,
+            pairs_per_read=stats.n_pairs / max(stats.n_reads, 1),
+            seconds_per_index_base=t_index / len(reference),
+            seconds_per_called_position=t_call / len(reference),
+        )

@@ -1,0 +1,87 @@
+"""Pipeline configuration.
+
+One dataclass gathers every knob of the end-to-end run so experiments can be
+described declaratively.  Sub-configurations (seeder, caller) reuse their
+modules' own dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calling.caller import CallerConfig
+from repro.errors import ConfigError
+from repro.index.seeding import SeederConfig
+from repro.phmm.model import PHMMParams
+
+
+@dataclass
+class PipelineConfig:
+    """Everything the GNUMAP-SNP driver needs besides the data.
+
+    Attributes
+    ----------
+    k:
+        Index mer-size (paper default 10).
+    pad:
+        Genome bases added on each side of a candidate window so the
+        semi-global PHMM can slide and open edge gaps.
+    batch_size:
+        Target number of (read, window) pairs per alignment batch; batches
+        always end on read boundaries so mapping weights normalise within
+        one batch.
+    accumulator:
+        "NORM", "CHARDISC" or "CENTDISC".
+    edge_policy:
+        z-vector edge handling, "mass" (default) or "paper" — see
+        :mod:`repro.phmm.posterior`.
+    min_ratio:
+        Candidate locations below this likelihood ratio vs the read's best
+        location are dropped from the multiread weighting.
+    quality_aware:
+        When False, PWMs collapse to the called base (ablation of the
+        paper's quality extension).
+    alignment_mode:
+        "semiglobal" (default) or "global" (paper-literal boundary
+        conditions; requires exact-footprint windows, only sensible with
+        pad = 0).
+    posterior_mode:
+        "marginal" (default — the paper's forward-backward z-vectors over
+        *all* alignments and locations) or "viterbi" (ablation: evidence
+        from the single best alignment at the single best location, the
+        philosophy of conventional mappers).
+    """
+
+    k: int = 10
+    pad: int = 8
+    batch_size: int = 512
+    accumulator: str = "NORM"
+    edge_policy: str = "mass"
+    min_ratio: float = 1e-4
+    quality_aware: bool = True
+    alignment_mode: str = "semiglobal"
+    posterior_mode: str = "marginal"
+    max_index_positions_per_kmer: int | None = 64
+    phmm: PHMMParams = field(default_factory=PHMMParams)
+    seeder: SeederConfig = field(default_factory=SeederConfig)
+    caller: CallerConfig = field(default_factory=CallerConfig)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.pad < 0:
+            raise ConfigError(f"pad must be >= 0, got {self.pad}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.accumulator.upper() not in (
+            "NORM", "CHARDISC", "CENTDISC", "CENTDISC_WEIGHTED",
+        ):
+            raise ConfigError(f"unknown accumulator {self.accumulator!r}")
+        if self.edge_policy not in ("mass", "paper"):
+            raise ConfigError(f"unknown edge_policy {self.edge_policy!r}")
+        if not 0.0 <= self.min_ratio < 1.0:
+            raise ConfigError(f"min_ratio must be in [0, 1), got {self.min_ratio}")
+        if self.alignment_mode not in ("semiglobal", "global"):
+            raise ConfigError(f"unknown alignment_mode {self.alignment_mode!r}")
+        if self.posterior_mode not in ("marginal", "viterbi"):
+            raise ConfigError(f"unknown posterior_mode {self.posterior_mode!r}")

@@ -1,0 +1,27 @@
+"""Workload simulation: synthetic genomes and Illumina-like reads.
+
+This is the substitute for the paper's inputs (human chrX + MetaSim reads):
+:func:`simulate_genome` builds a reference with repeat regions and GC bias,
+and :class:`ReadSimulator` samples quality-annotated reads with a
+position-dependent Illumina-style error profile.
+"""
+
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+from repro.simulate.error_model import IlluminaErrorModel
+from repro.simulate.read_sim import ReadSimulator, ReadSimSpec
+from repro.simulate.paired import (
+    PairedReadSimSpec,
+    PairedReadSimulator,
+    ReadPair,
+)
+
+__all__ = [
+    "GenomeSpec",
+    "simulate_genome",
+    "IlluminaErrorModel",
+    "ReadSimulator",
+    "ReadSimSpec",
+    "PairedReadSimSpec",
+    "PairedReadSimulator",
+    "ReadPair",
+]

@@ -1,0 +1,146 @@
+"""Illumina-like sequencing error model.
+
+MetaSim's Illumina ("Empirical-80") profile has two properties the pipeline
+depends on: the substitution error rate *ramps up along the read* (3' ends
+are worse), and reported Phred qualities track — imperfectly — the true
+per-base error probability.  :class:`IlluminaErrorModel` reproduces both.
+
+The quality-aware PHMM should therefore out-perform a quality-blind one on
+these reads: errors cluster at low-quality positions, and the PWM
+down-weights exactly those positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.genome.fastq import MAX_QUALITY
+from repro.util.rng import resolve_rng
+
+
+@dataclass
+class IlluminaErrorModel:
+    """Position-dependent substitution error profile with Phred qualities.
+
+    The true error probability at read position ``i`` of an ``n``-base read is
+
+    ``e(i) = start_error + (end_error - start_error) * (i / (n - 1)) ** ramp``
+
+    Reported qualities are ``-10 log10 e(i)`` perturbed by Gaussian noise of
+    ``quality_noise_sd`` Phred units, clipped to ``[2, MAX_QUALITY]`` — i.e.
+    qualities are informative but not oracle.
+
+    Attributes
+    ----------
+    start_error / end_error:
+        Error probability at the first/last base (defaults bracket the
+        ~0.1 %–1 % range typical of 2012-era Illumina 62-mers).
+    ramp:
+        Exponent shaping the ramp (>1 = errors concentrated at the 3' end).
+    quality_noise_sd:
+        Phred-unit standard deviation of the reported-quality noise.
+    indel_rate:
+        Per-base probability of a simulated indel (default 0; the Solexa
+        profile is overwhelmingly substitutions).
+    """
+
+    start_error: float = 0.001
+    end_error: float = 0.015
+    ramp: float = 1.6
+    quality_noise_sd: float = 2.0
+    indel_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, v in (("start_error", self.start_error), ("end_error", self.end_error)):
+            if not 0.0 <= v < 1.0:
+                raise ConfigError(f"{label} must be in [0,1), got {v}")
+        if self.ramp <= 0:
+            raise ConfigError(f"ramp must be positive, got {self.ramp}")
+        if self.quality_noise_sd < 0:
+            raise ConfigError("quality_noise_sd must be non-negative")
+        if not 0.0 <= self.indel_rate < 0.5:
+            raise ConfigError(f"indel_rate must be in [0, 0.5), got {self.indel_rate}")
+
+    def error_profile(self, read_length: int) -> np.ndarray:
+        """True per-position substitution probabilities for a read."""
+        if read_length <= 0:
+            raise ConfigError("read_length must be positive")
+        if read_length == 1:
+            return np.array([self.start_error])
+        frac = np.linspace(0.0, 1.0, read_length) ** self.ramp
+        return self.start_error + (self.end_error - self.start_error) * frac
+
+    def sample_qualities(
+        self, true_errors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Reported Phred scores for the given true error probabilities."""
+        errors = np.clip(np.asarray(true_errors, dtype=np.float64), 1e-6, 0.75)
+        phred = -10.0 * np.log10(errors)
+        if self.quality_noise_sd > 0:
+            phred = phred + rng.normal(0.0, self.quality_noise_sd, size=phred.shape)
+        return np.clip(np.rint(phred), 2, MAX_QUALITY).astype(np.uint8)
+
+    def corrupt(
+        self, codes: np.ndarray, rng: "int | np.random.Generator | None" = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply substitution errors to a perfect read.
+
+        Returns ``(corrupted_codes, qualities, error_mask)``.  Each erroneous
+        base is replaced by a uniformly drawn *different* base (the classic
+        uniform-miscall model).  Indels, when enabled, are applied first:
+        a deletion drops a base and a (length-preserving) insertion
+        duplicates the previous base; read length is restored by
+        truncation/padding from the template's own tail, which keeps
+        downstream layers free of variable-length bookkeeping.
+        """
+        rng = resolve_rng(rng)
+        codes = np.asarray(codes, dtype=np.uint8).copy()
+        n = codes.size
+        if n == 0:
+            raise ConfigError("cannot corrupt an empty read")
+
+        if self.indel_rate > 0:
+            codes = apply_indels(codes, self.indel_rate, rng)
+
+        errors = self.error_profile(n)
+        mask = rng.random(n) < errors
+        if mask.any():
+            shift = rng.integers(1, 4, size=int(mask.sum())).astype(np.uint8)
+            codes[mask] = (codes[mask] + shift) % 4
+        quals = self.sample_qualities(errors, rng)
+        return codes, quals, mask
+
+def apply_indels(
+    codes: np.ndarray, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Standalone length-preserving indel corruption.
+
+    At each position, with probability ``rate/2`` the base is deleted (the
+    suffix shifts left and the final base is duplicated) and with probability
+    ``rate/2`` the previous base is re-emitted (suffix shifts right, tail
+    truncated).  Read length is preserved by construction.
+    """
+    if not 0.0 <= rate < 0.5:
+        raise ConfigError(f"indel rate must be in [0, 0.5), got {rate}")
+    codes = np.asarray(codes, dtype=np.uint8)
+    if rate == 0.0 or codes.size < 2:
+        return codes.copy()
+    out: list[int] = []
+    src = list(int(c) for c in codes)
+    i = 0
+    while len(out) < codes.size and i < len(src):
+        r = rng.random()
+        if r < rate / 2:
+            i += 1  # deletion: skip this template base
+            continue
+        if r < rate and out:
+            out.append(out[-1])  # insertion: duplicate previous emitted base
+            continue
+        out.append(src[i])
+        i += 1
+    while len(out) < codes.size:
+        out.append(src[-1])
+    return np.asarray(out[: codes.size], dtype=np.uint8)

@@ -1,0 +1,49 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benchmark targets print the same rows the paper's tables report; this is
+the single formatting helper they share so output stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Format rows as a fixed-width text table.
+
+    Raises :class:`ValueError` when a row's length disagrees with the header.
+    """
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[_render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(out)

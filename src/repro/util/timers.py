@@ -1,0 +1,82 @@
+"""Wall-clock stage timers used by the pipeline and the bench harness.
+
+The pipeline reports a per-stage breakdown (index build, alignment, LRT,
+reduction).  Timers are explicit objects rather than decorators so that the
+parallel substrate can also *account* virtual time through the same interface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageTimer:
+    """Accumulating timer for one named stage.
+
+    Use as a context manager; re-entering accumulates.  ``elapsed`` holds the
+    total seconds across all entries and ``entries`` the number of intervals.
+    """
+
+    name: str
+    elapsed: float = 0.0
+    entries: int = 0
+    _started: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "StageTimer":
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} re-entered while running")
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._started is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"timer {self.name!r} exited without entry")
+        self.elapsed += time.perf_counter() - self._started
+        self.entries += 1
+        self._started = None
+
+    def add(self, seconds: float) -> None:
+        """Account externally measured (or simulated) time."""
+        if seconds < 0:
+            raise ValueError("cannot account negative time")
+        self.elapsed += seconds
+        self.entries += 1
+
+
+class TimerRegistry:
+    """Ordered collection of :class:`StageTimer` keyed by stage name."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, StageTimer] = {}
+
+    def __getitem__(self, name: str) -> StageTimer:
+        if name not in self._timers:
+            self._timers[name] = StageTimer(name)
+        return self._timers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def __iter__(self):
+        return iter(self._timers.values())
+
+    def total(self) -> float:
+        """Sum of elapsed seconds over all stages."""
+        return sum(t.elapsed for t in self._timers.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return {t.name: t.elapsed for t in self._timers.values()}
+
+    def report(self) -> str:
+        """Human-readable per-stage breakdown, one line per stage."""
+        if not self._timers:
+            return "(no stages timed)"
+        width = max(len(t.name) for t in self._timers.values())
+        lines = [
+            f"{t.name:<{width}}  {t.elapsed:10.4f}s  x{t.entries}"
+            for t in self._timers.values()
+        ]
+        lines.append(f"{'TOTAL':<{width}}  {self.total():10.4f}s")
+        return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Tests for the SNP caller on accumulated evidence."""
+
+import numpy as np
+import pytest
+
+from repro.calling.caller import CallerConfig, SNPCaller
+from repro.calling.negative_multinomial import sample_alternative, sample_null
+from repro.errors import CallingError
+from repro.genome.alphabet import GAP, N, encode
+
+
+def z_matrix(rows):
+    return np.asarray(rows, dtype=np.float64)
+
+
+class TestCallerConfig:
+    def test_validation(self):
+        with pytest.raises(CallingError):
+            CallerConfig(ploidy=3)
+        with pytest.raises(CallingError):
+            CallerConfig(alpha=0.0)
+        with pytest.raises(CallingError):
+            CallerConfig(method="bogus")
+        with pytest.raises(CallingError):
+            CallerConfig(fdr=1.0)
+        with pytest.raises(CallingError):
+            CallerConfig(min_depth=-1)
+
+
+class TestBaseCalls:
+    def test_strong_signal_significant(self):
+        caller = SNPCaller(CallerConfig(alpha=0.001, min_depth=3))
+        z = z_matrix([[12.0, 0.1, 0.1, 0.1, 0]])
+        calls = caller.base_calls(z)
+        assert len(calls) == 1
+        assert calls[0].significant
+        assert calls[0].top_channel == 0
+
+    def test_below_min_depth_skipped(self):
+        caller = SNPCaller(CallerConfig(min_depth=5))
+        z = z_matrix([[3.0, 0, 0, 0, 0]])
+        assert caller.base_calls(z) == []
+
+    def test_uniform_background_not_significant(self):
+        caller = SNPCaller()
+        z = z_matrix([[2.0, 2.0, 2.0, 2.0, 2.0]])
+        calls = caller.base_calls(z)
+        assert len(calls) == 1
+        assert not calls[0].significant
+
+    def test_positions_offset(self):
+        caller = SNPCaller()
+        z = z_matrix([[9.0, 0, 0, 0, 0]])
+        calls = caller.base_calls(z, positions=np.array([1234]))
+        assert calls[0].pos == 1234
+
+    def test_diploid_het_genotype(self):
+        caller = SNPCaller(CallerConfig(ploidy=2))
+        z = z_matrix([[10.0, 10.0, 0.2, 0.2, 0]])
+        calls = caller.base_calls(z)
+        assert calls[0].heterozygous
+        assert calls[0].genotype == (0, 1)
+
+    def test_shape_validation(self):
+        caller = SNPCaller()
+        with pytest.raises(CallingError):
+            caller.base_calls(np.zeros((2, 4)))
+        with pytest.raises(CallingError):
+            caller.base_calls(np.zeros((2, 5)), positions=np.array([1]))
+
+
+class TestSnps:
+    def test_alt_call_reported(self):
+        caller = SNPCaller()
+        ref = encode("ACGT")
+        z = np.zeros((4, 5))
+        z[1] = [15.0, 0.1, 0.1, 0.1, 0]  # strong A evidence at ref C
+        snps = caller.snps(z, ref)
+        assert len(snps) == 1
+        assert snps[0].pos == 1
+        assert snps[0].ref_name == "C"
+        assert snps[0].alt_name == "A"
+
+    def test_reference_match_not_reported(self):
+        caller = SNPCaller()
+        ref = encode("AAAA")
+        z = np.zeros((4, 5))
+        z[2] = [15.0, 0.1, 0.1, 0.1, 0]  # A evidence at ref A
+        assert caller.snps(z, ref) == []
+
+    def test_n_reference_skipped(self):
+        caller = SNPCaller()
+        ref = encode("ANAA")
+        z = np.zeros((4, 5))
+        z[1] = [15.0, 0, 0, 0, 0]
+        assert caller.snps(z, ref) == []
+
+    def test_gap_calls_suppressed_by_default(self):
+        caller = SNPCaller()
+        ref = encode("AAAA")
+        z = np.zeros((4, 5))
+        z[0] = [0.1, 0.1, 0.1, 0.1, 15.0]  # deletion evidence
+        assert caller.snps(z, ref) == []
+        permissive = SNPCaller(CallerConfig(call_gaps=True))
+        snps = permissive.snps(z, ref)
+        assert len(snps) == 1
+        assert GAP in snps[0].call.genotype
+
+    def test_het_with_ref_allele_is_snp(self):
+        caller = SNPCaller(CallerConfig(ploidy=2))
+        ref = encode("AAAA")
+        z = np.zeros((4, 5))
+        z[0] = [10.0, 10.0, 0.2, 0.2, 0]  # A/C het at ref A
+        snps = caller.snps(z, ref)
+        assert len(snps) == 1
+        assert snps[0].alt_name == "A/C"
+
+    def test_out_of_range_position_rejected(self):
+        caller = SNPCaller()
+        z = np.zeros((1, 5))
+        z[0] = [15.0, 0, 0, 0, 0]
+        with pytest.raises(CallingError):
+            caller.snps(z, encode("AC"), positions=np.array([10]))
+
+    def test_fdr_method_runs(self):
+        caller = SNPCaller(CallerConfig(method="fdr", fdr=0.05))
+        ref = encode("C" * 10)
+        z = np.tile(np.array([0.5, 3.0, 0.5, 0.5, 0.2]), (10, 1))
+        z[4] = [20.0, 0.1, 0.1, 0.1, 0]
+        snps = caller.snps(z, ref)
+        assert any(s.pos == 4 for s in snps)
+
+
+class TestStatisticalBehaviour:
+    def test_false_positive_rate_controlled(self):
+        # Background-only evidence at many positions: strict Bonferroni
+        # alpha keeps false calls rare.
+        caller = SNPCaller(CallerConfig(alpha=0.001))
+        z = sample_null(3000, depth=12.0, seed=0)
+        calls = caller.base_calls(z)
+        n_sig = sum(c.significant for c in calls)
+        assert n_sig < 30  # << 3000
+
+    def test_power_on_real_signal(self):
+        caller = SNPCaller(CallerConfig(alpha=0.001))
+        z = sample_alternative(300, depth=12.0, dominant_channel=2, purity=0.92, seed=1)
+        calls = caller.base_calls(z)
+        n_sig = sum(c.significant and c.top_channel == 2 for c in calls)
+        assert n_sig > 250

@@ -1,0 +1,123 @@
+"""Tests for p-values, the Bonferroni cutoff, and BH FDR control."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.errors import CallingError
+from repro.calling.pvalues import (
+    benjamini_hochberg,
+    bh_adjusted_pvalues,
+    chi2_pvalue,
+    is_significant,
+    significance_threshold,
+)
+
+
+class TestChi2Pvalue:
+    def test_known_quantiles(self):
+        assert chi2_pvalue(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert chi2_pvalue(np.array([3.841]))[0] == pytest.approx(0.05, abs=1e-3)
+
+    def test_monotone_decreasing(self):
+        p = chi2_pvalue(np.array([0.0, 1.0, 5.0, 20.0]))
+        assert (np.diff(p) < 0).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(CallingError):
+            chi2_pvalue(np.array([-1.0]))
+
+
+class TestSignificanceThreshold:
+    def test_matches_paper_construction(self):
+        # (1 - alpha/5) quantile of chi^2_1
+        alpha = 0.01
+        expected = stats.chi2.ppf(1 - alpha / 5, 1)
+        assert significance_threshold(alpha) == pytest.approx(expected)
+
+    def test_stricter_alpha_higher_threshold(self):
+        assert significance_threshold(0.0001) > significance_threshold(0.01)
+
+    def test_equivalence_with_pvalue_cutoff(self):
+        # stat > threshold  <=>  pvalue < alpha/5
+        alpha = 0.001
+        thr = significance_threshold(alpha)
+        stat = np.array([thr - 0.01, thr + 0.01])
+        p = chi2_pvalue(stat)
+        sig = is_significant(stat, alpha)
+        assert sig.tolist() == [False, True]
+        assert (p < alpha / 5).tolist() == [False, True]
+
+    def test_validation(self):
+        with pytest.raises(CallingError):
+            significance_threshold(0.0)
+        with pytest.raises(CallingError):
+            significance_threshold(1.0)
+
+
+class TestBenjaminiHochberg:
+    def test_known_example(self):
+        p = np.array([0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205])
+        mask = benjamini_hochberg(p, fdr=0.05)
+        # classic textbook outcome: first 5 rejected at q=0.05... verify via
+        # the step-up rule directly
+        m = len(p)
+        ranked = np.sort(p)
+        k = max(i for i in range(m) if ranked[i] <= 0.05 * (i + 1) / m)
+        assert mask.sum() == k + 1
+
+    def test_all_null_rejects_nothing(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0.2, 1.0, 100)
+        assert benjamini_hochberg(p, fdr=0.05).sum() == 0
+
+    def test_all_tiny_rejects_everything(self):
+        p = np.full(10, 1e-10)
+        assert benjamini_hochberg(p, fdr=0.05).all()
+
+    def test_empty(self):
+        assert benjamini_hochberg(np.array([]), 0.05).size == 0
+
+    def test_monotone_in_fdr(self):
+        rng = np.random.default_rng(1)
+        p = rng.uniform(0, 0.2, 50)
+        loose = benjamini_hochberg(p, fdr=0.2)
+        strict = benjamini_hochberg(p, fdr=0.01)
+        assert (strict <= loose).all()
+
+    def test_rejection_set_is_pvalue_prefix(self):
+        rng = np.random.default_rng(2)
+        p = rng.uniform(0, 1, 60)
+        mask = benjamini_hochberg(p, fdr=0.1)
+        if mask.any():
+            assert p[mask].max() <= p[~mask].min() + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(CallingError):
+            benjamini_hochberg(np.array([0.5]), fdr=0.0)
+        with pytest.raises(CallingError):
+            benjamini_hochberg(np.array([1.5]), fdr=0.05)
+        with pytest.raises(CallingError):
+            benjamini_hochberg(np.zeros((2, 2)), fdr=0.05)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=60),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    def test_adjusted_pvalues_equivalent(self, p, fdr):
+        p = np.array(p)
+        mask = benjamini_hochberg(p, fdr=fdr)
+        adjusted = bh_adjusted_pvalues(p)
+        # equivalence holds away from the exact threshold boundary, where
+        # the two formulations differ by float rounding (p * m / m != p)
+        off_boundary = np.abs(adjusted - fdr) > 1e-9
+        assert (mask == (adjusted <= fdr))[off_boundary].all()
+
+    def test_adjusted_monotone_with_raw_order(self):
+        p = np.array([0.01, 0.5, 0.03, 0.9])
+        adj = bh_adjusted_pvalues(p)
+        order = np.argsort(p)
+        assert (np.diff(adj[order]) >= -1e-12).all()

@@ -1,0 +1,65 @@
+"""Tests for call records and the SNP report writer."""
+
+import io
+
+import pytest
+
+from repro.calling.records import BaseCall, SNPCall, write_snp_calls
+from repro.errors import CallingError
+
+
+def mk_call(pos=5, top=2, second=0, het=False):
+    return BaseCall(
+        pos=pos,
+        depth=11.5,
+        top_channel=top,
+        second_channel=second,
+        stat=20.0,
+        pvalue=1e-5,
+        significant=True,
+        heterozygous=het,
+    )
+
+
+class TestBaseCall:
+    def test_hom_genotype(self):
+        assert mk_call().genotype == (2,)
+
+    def test_het_genotype_sorted(self):
+        assert mk_call(top=3, second=1, het=True).genotype == (1, 3)
+
+
+class TestSNPCall:
+    def test_names(self):
+        snp = SNPCall(pos=5, ref_base=0, call=mk_call())
+        assert snp.ref_name == "A"
+        assert snp.alt_name == "G"
+
+    def test_het_name(self):
+        snp = SNPCall(pos=5, ref_base=0, call=mk_call(top=3, second=1, het=True))
+        assert snp.alt_name == "C/T"
+
+    def test_position_mismatch_rejected(self):
+        with pytest.raises(CallingError):
+            SNPCall(pos=6, ref_base=0, call=mk_call(pos=5))
+
+
+class TestWriter:
+    def test_tsv_output(self):
+        buf = io.StringIO()
+        n = write_snp_calls(buf, [SNPCall(pos=5, ref_base=0, call=mk_call())])
+        assert n == 1
+        lines = buf.getvalue().splitlines()
+        assert lines[0].startswith("pos\tref\talt")
+        fields = lines[1].split("\t")
+        assert fields[0] == "5" and fields[1] == "A" and fields[2] == "G"
+
+    def test_empty(self):
+        buf = io.StringIO()
+        assert write_snp_calls(buf, []) == 0
+        assert len(buf.getvalue().splitlines()) == 1
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "snps.tsv"
+        write_snp_calls(path, [SNPCall(pos=1, ref_base=1, call=mk_call(pos=1))])
+        assert path.read_text().count("\n") == 2

@@ -1,0 +1,107 @@
+"""Tests for VCF output/round-trip."""
+
+import io
+
+import pytest
+
+from repro.calling.records import BaseCall, SNPCall
+from repro.calling.vcf import read_vcf, write_vcf
+from repro.errors import CallingError
+from repro.genome.alphabet import A, C, G, GAP, T
+
+
+def mk_snp(pos, ref, top, second=None, het=False, pvalue=1e-6, depth=12.0):
+    call = BaseCall(
+        pos=pos,
+        depth=depth,
+        top_channel=top,
+        second_channel=second if second is not None else ref,
+        stat=25.0,
+        pvalue=pvalue,
+        significant=True,
+        heterozygous=het,
+    )
+    return SNPCall(pos=pos, ref_base=ref, call=call)
+
+
+class TestWriteVcf:
+    def test_basic_record(self):
+        buf = io.StringIO()
+        written, skipped = write_vcf(buf, [mk_snp(4, A, G)], contig="chr1")
+        assert (written, skipped) == (1, 0)
+        text = buf.getvalue()
+        assert text.startswith("##fileformat=VCFv4.2")
+        data = [l for l in text.splitlines() if not l.startswith("#")]
+        fields = data[0].split("\t")
+        assert fields[0] == "chr1"
+        assert fields[1] == "5"  # 1-based
+        assert fields[3] == "A" and fields[4] == "G"
+        assert fields[9] == "1/1"
+
+    def test_het_with_ref_is_0_1(self):
+        buf = io.StringIO()
+        write_vcf(buf, [mk_snp(2, A, A, second=C, het=True)])
+        line = [l for l in buf.getvalue().splitlines() if not l.startswith("#")][0]
+        fields = line.split("\t")
+        assert fields[4] == "C"
+        assert fields[9] == "0/1"
+
+    def test_het_two_alts_is_1_2(self):
+        buf = io.StringIO()
+        write_vcf(buf, [mk_snp(2, A, G, second=T, het=True)])
+        line = [l for l in buf.getvalue().splitlines() if not l.startswith("#")][0]
+        fields = line.split("\t")
+        assert set(fields[4].split(",")) == {"G", "T"}
+        assert fields[9] == "1/2"
+
+    def test_gap_calls_skipped(self):
+        buf = io.StringIO()
+        written, skipped = write_vcf(buf, [mk_snp(2, A, GAP)])
+        assert (written, skipped) == (0, 1)
+
+    def test_records_sorted(self):
+        buf = io.StringIO()
+        write_vcf(buf, [mk_snp(9, A, G), mk_snp(2, C, T)])
+        data = [l for l in buf.getvalue().splitlines() if not l.startswith("#")]
+        assert [int(l.split("\t")[1]) for l in data] == [3, 10]
+
+    def test_zero_pvalue_capped(self):
+        buf = io.StringIO()
+        write_vcf(buf, [mk_snp(1, A, G, pvalue=0.0)])
+        line = [l for l in buf.getvalue().splitlines() if not l.startswith("#")][0]
+        assert float(line.split("\t")[5]) == 5000.0
+
+
+class TestReadVcf:
+    def test_round_trip(self):
+        snps = [mk_snp(4, A, G), mk_snp(9, C, T, second=A, het=True)]
+        buf = io.StringIO()
+        write_vcf(buf, snps, contig="ctg")
+        records = read_vcf(io.StringIO(buf.getvalue()))
+        assert len(records) == 2
+        assert records[0].pos == 4 and records[0].ref == "A" and records[0].alt == "G"
+        assert records[0].depth == pytest.approx(12.0)
+        assert records[0].stat == pytest.approx(25.0)
+        assert records[1].genotype in ("0/1", "1/2")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "out.vcf"
+        write_vcf(path, [mk_snp(0, G, C)])
+        assert read_vcf(path)[0].pos == 0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CallingError):
+            read_vcf(io.StringIO("chr1\t5\t.\tA\n"))
+
+    def test_pipeline_vcf_end_to_end(self, tmp_path):
+        from repro import GnumapSnp, PipelineConfig, build_workload
+
+        wl = build_workload(scale="tiny", seed=71)
+        result = GnumapSnp(wl.reference, PipelineConfig()).run(wl.reads)
+        path = tmp_path / "calls.vcf"
+        written, _ = write_vcf(path, result.snps, contig=wl.reference.name)
+        records = read_vcf(path)
+        assert written == len(records)
+        called = {r.pos for r in records}
+        assert called <= set(range(len(wl.reference)))
+        assert len(called & set(wl.catalog.positions.tolist())) >= 1

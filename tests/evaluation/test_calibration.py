@@ -1,0 +1,101 @@
+"""Tests for the statistical-calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.calling.negative_multinomial import sample_null
+from repro.errors import ReproError
+from repro.evaluation.calibration import (
+    alpha_sweep,
+    is_conservative,
+    qq_points,
+)
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+from repro.simulate.read_sim import ReadSimSpec, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def background_run():
+    """Pipeline evidence from reads of the reference itself: no variants."""
+    ref, _ = simulate_genome(GenomeSpec(length=8000, n_repeats=0), seed=41)
+    reads = ReadSimulator(
+        [ref], ReadSimSpec(read_length=62, coverage=10.0), seed=42
+    ).simulate()
+    pipe = GnumapSnp(ref, PipelineConfig())
+    acc, _ = pipe.map_reads(reads)
+    return ref, acc.snapshot()
+
+
+class TestQQ:
+    def test_background_pvalues_conservative(self, background_run):
+        _, z = background_run
+        table = qq_points(z)
+        # pipeline background is ref-dominant, NOT uniform: the p-values are
+        # heavily anti-conservative against the uniform null... but those
+        # positions never become SNPs (they match the reference).  The QQ
+        # table just has to be well-formed and monotone here.
+        assert table.shape[1] == 2
+        assert (np.diff(table[:, 0]) > 0).all()
+        assert (np.diff(table[:, 1]) >= -1e-12).all()
+        assert ((0 <= table) & (table <= 1)).all()
+
+    def test_multinomial_null_justifies_alpha_over_5(self):
+        """Under the true multinomial null the max-based LRT is
+        anti-conservative against chi^2_1 — by at most the factor 5 the
+        paper's alpha/5 Bonferroni correction absorbs ("testing each base
+        vs background, 5 tests")."""
+        from repro.calling.lrt import lrt_statistic_monoploid
+        from repro.calling.pvalues import chi2_pvalue
+
+        rng = np.random.default_rng(7)
+        z = rng.multinomial(30, [0.2] * 5, size=30_000).astype(float)
+        pvals = chi2_pvalue(lrt_statistic_monoploid(z))
+        for alpha in (0.05, 0.01):
+            observed = (pvals < alpha).mean()
+            assert observed <= 5.0 * alpha * 1.3  # Bonferroni factor + noise
+            assert observed >= alpha * 0.5  # genuinely anti-conservative
+
+    def test_dirichlet_null_is_conservative(self):
+        # The overdispersed continuous background sampler produces *smaller*
+        # statistics than the multinomial chi^2 null: p-values pile up near
+        # 1 and the QQ curve sits above the diagonal everywhere.
+        z = sample_null(20_000, depth=500.0, concentration=2000.0, seed=7)
+        table = qq_points(z, n_quantiles=10)
+        body = table[table[:, 0] <= 0.85]
+        assert (body[:, 1] >= body[:, 0]).all()
+        # strongly conservative overall: observed quantiles sit far above
+        assert table[:, 1].mean() > table[:, 0].mean() + 0.2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            qq_points(np.zeros((5, 4)))
+        with pytest.raises(ReproError):
+            qq_points(np.zeros((5, 5)), n_quantiles=1)
+        with pytest.raises(ReproError):
+            qq_points(np.zeros((3, 5)), n_quantiles=10)
+
+
+class TestAlphaSweep:
+    def test_no_false_calls_on_background(self, background_run):
+        ref, z = background_run
+        points = alpha_sweep(z, ref.codes)
+        assert all(p.n_tested > 0 for p in points)
+        # the ref-match veto keeps the SNP-wise FPR far below alpha
+        assert is_conservative(points)
+        # stricter alpha never yields more calls
+        calls = [p.n_false_calls for p in points]  # sorted loose -> strict
+        assert calls == sorted(calls, reverse=True)
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            alpha_sweep(np.zeros((4, 5)), np.zeros(5, dtype=np.uint8))
+
+    def test_observed_rate(self):
+        from repro.evaluation.calibration import AlphaSweepPoint
+
+        p = AlphaSweepPoint(alpha=0.01, n_tested=1000, n_false_calls=5)
+        assert p.observed_rate == pytest.approx(0.005)
+        empty = AlphaSweepPoint(alpha=0.01, n_tested=0, n_false_calls=0)
+        assert empty.observed_rate == 0.0

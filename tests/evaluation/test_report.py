@@ -1,0 +1,69 @@
+"""Tests for the markdown run report."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.report import _coverage_histogram, run_report
+from repro.experiments.workload import build_workload
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+
+
+@pytest.fixture(scope="module")
+def run():
+    wl = build_workload(scale="tiny", seed=808)
+    result = GnumapSnp(wl.reference, PipelineConfig()).run(wl.reads)
+    return wl, result
+
+
+class TestCoverageHistogram:
+    def test_bars_scale(self):
+        depth = np.concatenate([np.zeros(50), np.full(100, 10.0)])
+        text = _coverage_histogram(depth, n_bins=5)
+        assert text.count("\n") == 4
+        assert "#" in text
+
+    def test_empty(self):
+        assert "empty" in _coverage_histogram(np.array([]))
+
+
+class TestRunReport:
+    def test_contains_all_sections(self, run):
+        wl, result = run
+        text = run_report(result, wl.reference, truth=wl.catalog)
+        for section in ("# GNUMAP-SNP run report", "## Summary",
+                        "## Stage timing", "## Coverage", "## SNP calls",
+                        "## Accuracy vs truth"):
+            assert section in text
+
+    def test_numbers_present(self, run):
+        wl, result = run
+        text = run_report(result, wl.reference, truth=wl.catalog)
+        assert f"{wl.n_reads:,} total" in text
+        assert "precision" in text
+        for snp in result.snps[:3]:
+            assert f"| {snp.pos} |" in text
+
+    def test_without_truth(self, run):
+        wl, result = run
+        text = run_report(result, wl.reference)
+        assert "Accuracy" not in text
+
+    def test_row_cap(self, run):
+        wl, result = run
+        if len(result.snps) >= 2:
+            text = run_report(result, wl.reference, max_snp_rows=1)
+            assert "more)" in text
+
+    def test_validation(self, run):
+        wl, result = run
+        with pytest.raises(ReproError):
+            run_report(result, wl.reference, max_snp_rows=0)
+
+    def test_renders_empty_run(self, run):
+        wl, _ = run
+        pipe = GnumapSnp(wl.reference, PipelineConfig())
+        empty = pipe.run([])
+        text = run_report(empty, wl.reference)
+        assert "No SNPs called." in text

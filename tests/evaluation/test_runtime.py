@@ -1,0 +1,33 @@
+"""Tests for throughput accounting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.runtime import ThroughputReport, throughput
+
+
+class TestThroughput:
+    def test_reads_per_second(self):
+        r = throughput(n_ranks=4, n_reads=1000, seconds=2.0)
+        assert r.reads_per_second == 500.0
+
+    def test_speedup_and_efficiency(self):
+        base = throughput(1, 1000, 10.0)
+        fast = throughput(4, 1000, 3.0)
+        assert fast.speedup_vs(base) == pytest.approx(10 / 3)
+        assert fast.efficiency_vs(base) == pytest.approx(10 / 12)
+
+    def test_perfect_linear_efficiency_is_one(self):
+        base = throughput(1, 100, 8.0)
+        quad = throughput(4, 100, 2.0)
+        assert quad.efficiency_vs(base) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            throughput(0, 10, 1.0)
+        with pytest.raises(ReproError):
+            throughput(1, -1, 1.0)
+        with pytest.raises(ReproError):
+            throughput(1, 10, 0.0)
+        with pytest.raises(ReproError):
+            ThroughputReport(1, 10, 0.0).reads_per_second

@@ -1,0 +1,66 @@
+"""Tests for the ROC threshold-sweep experiment."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import roc
+from repro.experiments.workload import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(scale="tiny", seed=505)
+
+
+class TestScoredPositions:
+    def test_gnumap_scores_cover_truth(self, workload):
+        scored = roc.gnumap_scored_positions(workload)
+        assert scored
+        positions = {p for p, _ in scored}
+        truth = set(workload.catalog.positions.tolist())
+        # most planted SNPs appear among the scored candidates
+        assert len(positions & truth) >= 0.5 * len(truth)
+        assert all(s >= 0 for _, s in scored)
+
+    def test_truth_scores_above_background(self, workload):
+        scored = dict(roc.gnumap_scored_positions(workload))
+        truth = set(workload.catalog.positions.tolist())
+        t_scores = [s for p, s in scored.items() if p in truth]
+        bg_scores = [s for p, s in scored.items() if p not in truth]
+        if t_scores and bg_scores:
+            import numpy as np
+
+            assert np.median(t_scores) > np.median(bg_scores)
+
+    def test_maq_scores(self, workload):
+        scored = roc.maq_scored_positions(workload)
+        assert all(q >= 0 for _, q in scored)
+
+
+class TestRun:
+    def test_rows_and_format(self, workload):
+        points = roc.run(workload=workload, n_points=4)
+        series = {p.series for p in points}
+        assert len(series) == 2
+        text = roc.format(points)
+        assert "threshold" in text
+        for p in points:
+            assert 0 <= p.precision <= 1
+            assert 0 <= p.recall <= 1
+
+    def test_recall_monotone_along_curve(self, workload):
+        points = roc.run(workload=workload, n_points=5)
+        for series in {p.series for p in points}:
+            recs = [p.recall for p in points if p.series == series]
+            assert all(b >= a for a, b in zip(recs, recs[1:]))
+
+    def test_auc_like(self, workload):
+        points = roc.run(workload=workload, n_points=4)
+        series = next(iter({p.series for p in points}))
+        assert 0 <= roc.auc_like(points, series) <= 1
+        with pytest.raises(ConfigError):
+            roc.auc_like(points, "nope")
+
+    def test_validation(self, workload):
+        with pytest.raises(ConfigError):
+            roc.run(workload=workload, n_points=1)

@@ -1,0 +1,104 @@
+"""Tests for the genomic k-mer hash index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.genome.reference import Reference
+from repro.index.hashindex import GenomeIndex
+from repro.index.kmer import pack_kmer, rolling_kmers
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+
+
+def ref_from(seq: str) -> Reference:
+    return Reference.from_string(seq)
+
+
+class TestConstruction:
+    def test_counts(self):
+        ref = ref_from("ACGTACGT")
+        idx = GenomeIndex(ref, k=4)
+        # 5 windows, 4 distinct k-mers (ACGT repeats)
+        assert idx.n_indexed_positions == 5
+        assert idx.n_indexed_kmers == 4
+
+    def test_genome_shorter_than_k_rejected(self):
+        with pytest.raises(IndexError_):
+            GenomeIndex(ref_from("ACG"), k=5)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(IndexError_):
+            GenomeIndex(ref_from("ACGT"), k=0)
+
+    def test_bad_max_positions_rejected(self):
+        with pytest.raises(IndexError_):
+            GenomeIndex(ref_from("ACGTACGT"), k=3, max_positions_per_kmer=0)
+
+    def test_n_windows_excluded(self):
+        idx = GenomeIndex(ref_from("ACGNACG"), k=3)
+        # windows touching N (positions 1,2,3) are dropped
+        assert idx.n_indexed_positions == 2
+
+
+class TestLookup:
+    def test_every_position_findable(self):
+        ref, _ = simulate_genome(GenomeSpec(length=3000, n_repeats=0), seed=1)
+        idx = GenomeIndex(ref, k=10, max_positions_per_kmer=None)
+        packed, valid = rolling_kmers(ref.codes, 10)
+        rng = np.random.default_rng(0)
+        for pos in rng.integers(0, packed.size, 50):
+            if not valid[pos]:
+                continue
+            hits = idx.lookup(int(packed[pos]))
+            assert pos in hits
+
+    def test_absent_kmer_empty(self):
+        idx = GenomeIndex(ref_from("AAAAAAAA"), k=3)
+        from repro.genome.alphabet import encode
+        assert idx.lookup(pack_kmer(encode("TTT"))).size == 0
+
+    def test_repeat_positions_all_reported(self):
+        idx = GenomeIndex(ref_from("ACGTAACGTA"), k=5)
+        from repro.genome.alphabet import encode
+        hits = idx.lookup(pack_kmer(encode("ACGTA")))
+        assert sorted(hits.tolist()) == [0, 5]
+
+    def test_lookup_many_matches_lookup(self):
+        ref, _ = simulate_genome(GenomeSpec(length=2000, n_repeats=0), seed=2)
+        idx = GenomeIndex(ref, k=8)
+        packed, _ = rolling_kmers(ref.codes, 8)
+        queries = packed[:20]
+        many = idx.lookup_many(queries)
+        for q, hits in zip(queries, many):
+            assert (hits == idx.lookup(int(q))).all()
+
+
+class TestRepeatMasking:
+    def test_high_frequency_kmers_dropped(self):
+        ref = ref_from("A" * 100 + "ACGTACGTCC")
+        idx = GenomeIndex(ref, k=5, max_positions_per_kmer=10)
+        from repro.genome.alphabet import encode
+        assert idx.lookup(pack_kmer(encode("AAAAA"))).size == 0
+        assert idx.n_masked_kmers >= 1
+
+    def test_none_keeps_everything(self):
+        ref = ref_from("A" * 50)
+        idx = GenomeIndex(ref, k=5, max_positions_per_kmer=None)
+        from repro.genome.alphabet import encode
+        assert idx.lookup(pack_kmer(encode("AAAAA"))).size == 46
+        assert idx.n_masked_kmers == 0
+
+
+class TestFootprint:
+    def test_nbytes_positive_and_scales(self):
+        small, _ = simulate_genome(GenomeSpec(length=1000, n_repeats=0), seed=3)
+        large, _ = simulate_genome(GenomeSpec(length=10_000, n_repeats=0), seed=3)
+        b_small = GenomeIndex(small).nbytes()
+        b_large = GenomeIndex(large).nbytes()
+        assert 0 < b_small < b_large
+
+    def test_compact_dtypes(self):
+        ref, _ = simulate_genome(GenomeSpec(length=1000, n_repeats=0), seed=4)
+        idx = GenomeIndex(ref, k=10)
+        # int32 everywhere at this scale: < 13 bytes/base for the index
+        assert idx.nbytes() / len(ref) < 13

@@ -1,0 +1,93 @@
+"""Tests for 2-bit k-mer packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.genome.alphabet import encode
+from repro.index.kmer import MAX_K, KmerCodec, pack_kmer, rolling_kmers, unpack_kmer
+
+
+class TestPackUnpack:
+    def test_known_values(self):
+        assert pack_kmer(encode("A")) == 0
+        assert pack_kmer(encode("T")) == 3
+        assert pack_kmer(encode("AC")) == 1
+        assert pack_kmer(encode("CA")) == 4
+        assert pack_kmer(encode("TTTT")) == 255
+
+    def test_unpack_inverse(self):
+        assert unpack_kmer(4, 2).tolist() == [1, 0]
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=MAX_K))
+    def test_round_trip(self, seq):
+        codes = encode(seq)
+        assert (unpack_kmer(pack_kmer(codes), len(seq)) == codes).all()
+
+    def test_n_rejected(self):
+        with pytest.raises(IndexError_):
+            pack_kmer(encode("ACN"))
+
+    def test_k_limits(self):
+        with pytest.raises(IndexError_):
+            pack_kmer(encode("A" * (MAX_K + 1)))
+        with pytest.raises(IndexError_):
+            unpack_kmer(0, 0)
+
+    def test_unpack_range_check(self):
+        with pytest.raises(IndexError_):
+            unpack_kmer(16, 2)  # 2-mers only reach 15
+        with pytest.raises(IndexError_):
+            unpack_kmer(-1, 2)
+
+
+class TestRollingKmers:
+    def test_matches_pack_kmer(self):
+        codes = encode("ACGTACGT")
+        packed, valid = rolling_kmers(codes, 3)
+        assert packed.size == 6
+        assert valid.all()
+        for i in range(6):
+            assert packed[i] == pack_kmer(codes[i : i + 3])
+
+    def test_n_windows_masked(self):
+        codes = encode("ACNGT")
+        packed, valid = rolling_kmers(codes, 2)
+        assert valid.tolist() == [True, False, False, True]
+
+    def test_short_sequence_empty(self):
+        packed, valid = rolling_kmers(encode("AC"), 5)
+        assert packed.size == 0 and valid.size == 0
+
+    @given(st.text(alphabet="ACGTN", min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=8))
+    def test_rolling_property(self, seq, k):
+        codes = encode(seq)
+        packed, valid = rolling_kmers(codes, k)
+        expected_count = max(0, len(seq) - k + 1)
+        assert packed.size == expected_count
+        for i in range(expected_count):
+            window = codes[i : i + k]
+            if (window > 3).any():
+                assert not valid[i]
+            else:
+                assert valid[i]
+                assert packed[i] == pack_kmer(window)
+
+
+class TestKmerCodec:
+    def test_bound_k(self):
+        codec = KmerCodec(4)
+        assert codec.n_kmers == 256
+        codes = encode("ACGT")
+        assert codec.unpack(codec.pack(codes)).tolist() == codes.tolist()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(IndexError_):
+            KmerCodec(3).pack(encode("ACGT"))
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(IndexError_):
+            KmerCodec(0)

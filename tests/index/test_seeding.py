@@ -1,0 +1,146 @@
+"""Tests for seed clustering into candidate regions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.genome.alphabet import reverse_complement
+from repro.genome.fastq import Read
+from repro.index.hashindex import GenomeIndex
+from repro.index.seeding import CandidateRegion, Seeder, SeederConfig
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+
+
+def make_setup(length=5000, seed=0, n_repeats=0, **idx_kw):
+    ref, repeats = simulate_genome(
+        GenomeSpec(length=length, n_repeats=n_repeats,
+                   repeat_length=300 if n_repeats else 0,
+                   repeat_divergence=0.0),
+        seed=seed,
+    )
+    index = GenomeIndex(ref, k=10, **idx_kw)
+    return ref, repeats, Seeder(index)
+
+
+def perfect_read(ref, pos, length=62, name="r"):
+    return Read(
+        name=name,
+        codes=ref.codes[pos : pos + length].copy(),
+        quals=np.full(length, 40, dtype=np.uint8),
+    )
+
+
+class TestSeederConfig:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            SeederConfig(min_support=0)
+        with pytest.raises(IndexError_):
+            SeederConfig(diagonal_slack=-1)
+        with pytest.raises(IndexError_):
+            SeederConfig(max_candidates=0)
+        with pytest.raises(IndexError_):
+            SeederConfig(step=0)
+
+
+class TestCandidateRegion:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            CandidateRegion(start=0, strand=2, support=1)
+        with pytest.raises(IndexError_):
+            CandidateRegion(start=0, strand=1, support=0)
+
+
+class TestForwardSeeding:
+    def test_perfect_read_found_at_true_position(self):
+        ref, _, seeder = make_setup()
+        for pos in (0, 1234, 4000):
+            cands = seeder.candidates(perfect_read(ref, pos))
+            assert cands, pos
+            best = cands[0]
+            assert best.strand == 1
+            assert best.start == pos
+
+    def test_read_with_errors_still_found(self):
+        ref, _, seeder = make_setup(seed=1)
+        read = perfect_read(ref, 2000)
+        read.codes[10] = (read.codes[10] + 1) % 4
+        read.codes[40] = (read.codes[40] + 2) % 4
+        cands = seeder.candidates(read)
+        assert any(c.start == 2000 and c.strand == 1 for c in cands)
+
+    def test_random_read_unmapped(self):
+        ref, _, seeder = make_setup(seed=2)
+        rng = np.random.default_rng(99)
+        read = Read(
+            "rand",
+            rng.integers(0, 4, 62).astype(np.uint8),
+            np.full(62, 40, dtype=np.uint8),
+        )
+        cands = seeder.candidates(read)
+        # a random 62-mer should hit nothing (or only weak accidents)
+        assert all(c.support <= 3 for c in cands)
+
+    def test_short_read_yields_nothing(self):
+        ref, _, seeder = make_setup()
+        read = Read("s", ref.codes[:5].copy(), np.full(5, 40, dtype=np.uint8))
+        assert seeder.candidates(read) == []
+
+
+class TestReverseSeeding:
+    def test_rc_read_found_on_minus_strand(self):
+        ref, _, seeder = make_setup(seed=3)
+        pos = 1500
+        template = ref.codes[pos : pos + 62]
+        read = Read("rc", reverse_complement(template),
+                    np.full(62, 40, dtype=np.uint8))
+        cands = seeder.candidates(read)
+        assert cands
+        best = cands[0]
+        assert best.strand == -1
+        assert best.start == pos
+
+
+class TestRepeats:
+    def test_repeat_read_reports_both_copies(self):
+        ref, repeats, seeder = make_setup(length=20_000, seed=4, n_repeats=1)
+        rep = repeats[0]
+        pos = rep.src_start + 50
+        cands = seeder.candidates(perfect_read(ref, pos))
+        starts = {c.start for c in cands if c.strand == 1}
+        assert pos in starts
+        assert rep.copy_start + 50 in starts
+
+    def test_max_candidates_cap(self):
+        ref, _, _ = make_setup(length=20_000, seed=4, n_repeats=1)
+        index = GenomeIndex(ref, k=10)
+        seeder = Seeder(index, SeederConfig(max_candidates=1))
+        cands = seeder.candidates(perfect_read(ref, 100))
+        assert len(cands) <= 1
+
+
+class TestDiagonalClustering:
+    def test_read_with_deletion_one_cluster(self):
+        # Delete 2 bases from the middle of the template: hits fall on two
+        # nearby diagonals which must merge into one candidate.
+        ref, _, seeder = make_setup(seed=5)
+        pos = 3000
+        template = ref.codes[pos : pos + 64]
+        codes = np.concatenate([template[:30], template[32:]])
+        read = Read("del", codes, np.full(62, 40, dtype=np.uint8))
+        cands = [c for c in seeder.candidates(read) if c.strand == 1]
+        near = [c for c in cands if abs(c.start - pos) <= 3]
+        assert len(near) == 1
+
+    def test_step_reduces_support_but_finds(self):
+        ref, _, _ = make_setup(seed=6)
+        index = GenomeIndex(ref, k=10)
+        seeder = Seeder(index, SeederConfig(step=4))
+        cands = seeder.candidates(perfect_read(ref, 1000))
+        assert any(c.start == 1000 for c in cands)
+
+    def test_candidates_sorted_by_support(self):
+        ref, _, seeder = make_setup(length=20_000, seed=7, n_repeats=2)
+        read = perfect_read(ref, 500)
+        cands = seeder.candidates(read)
+        supports = [c.support for c in cands]
+        assert supports == sorted(supports, reverse=True)

@@ -1,0 +1,132 @@
+"""Tests for CHARDISC nucleotide-byte discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccumulatorError
+from repro.memory.chardisc import ByteAccumulator, quantize_rows
+
+
+class TestQuantizeRows:
+    def test_sums_to_255_when_occupied(self):
+        rng = np.random.default_rng(0)
+        real = rng.dirichlet([1, 1, 1, 1, 1], size=50) * 10
+        totals = real.sum(axis=1)
+        q = quantize_rows(real, totals)
+        assert (q.sum(axis=1) == 255).all()
+
+    def test_zero_total_all_zero(self):
+        q = quantize_rows(np.zeros((3, 5)), np.zeros(3))
+        assert (q == 0).all()
+
+    def test_error_bounded_by_one_step(self):
+        rng = np.random.default_rng(1)
+        real = rng.dirichlet([2, 1, 1, 1, 0.5], size=100) * 7
+        totals = real.sum(axis=1)
+        q = quantize_rows(real, totals)
+        recon = q / 255.0 * totals[:, None]
+        assert np.abs(recon - real).max() <= totals.max() / 255.0 + 1e-9
+
+    def test_shape_validation(self):
+        with pytest.raises(AccumulatorError):
+            quantize_rows(np.zeros((2, 4)), np.zeros(2))
+
+
+class TestPaperExamples:
+    """The worked examples from the paper's Section VI-B.1."""
+
+    def test_single_a(self):
+        acc = ByteAccumulator(1)
+        acc.add(np.array([0]), np.array([[1.0, 0, 0, 0, 0]]))
+        total, bts = acc.byte_state()
+        assert total[0] == pytest.approx(1.0)
+        assert bts[0].tolist() == [255, 0, 0, 0, 0]
+
+    def test_one_a_one_t(self):
+        acc = ByteAccumulator(1)
+        acc.add(np.array([0]), np.array([[1.0, 0, 0, 0, 0]]))
+        acc.add(np.array([0]), np.array([[0, 0, 0, 1.0, 0]]))
+        _, bts = acc.byte_state()
+        # paper: [128, 0, 0, 127, 0]
+        assert sorted(bts[0].tolist(), reverse=True)[:2] == [128, 127]
+        assert bts[0][0] + bts[0][3] == 255
+
+    def test_254_a_one_t(self):
+        acc = ByteAccumulator(1)
+        acc.add(np.array([0]), np.array([[254.0, 0, 0, 0, 0]]))
+        acc.add(np.array([0]), np.array([[0, 0, 0, 1.0, 0]]))
+        _, bts = acc.byte_state()
+        assert bts[0][0] == 254
+        assert bts[0][3] == 1
+
+    def test_saturation_drops_new_signal(self):
+        # beyond ~255 total, a single new read rounds to zero bytes
+        acc = ByteAccumulator(1)
+        acc.add(np.array([0]), np.array([[1000.0, 0, 0, 0, 0]]))
+        acc.add(np.array([0]), np.array([[0, 0, 0, 1.0, 0]]))
+        _, bts = acc.byte_state()
+        assert bts[0][3] == 0  # the lone T vanished: the paper's saturation
+
+
+class TestByteAccumulator:
+    def test_approximates_dense(self):
+        rng = np.random.default_rng(2)
+        length = 200
+        acc = ByteAccumulator(length)
+        ref = np.zeros((length, 5))
+        for _ in range(30):
+            pos = rng.integers(0, length, 50)
+            z = rng.dirichlet([6, 1, 1, 1, 0.3], 50)
+            acc.add(pos, z)
+            np.add.at(ref, pos, z)
+        snap = acc.snapshot()
+        assert np.allclose(snap.sum(axis=1), ref.sum(axis=1), atol=1e-3)
+        # per-channel relative error small at moderate depth
+        rel = np.abs(snap - ref).sum() / ref.sum()
+        assert rel < 0.05
+
+    def test_invariant_bytes_sum(self):
+        rng = np.random.default_rng(3)
+        acc = ByteAccumulator(50)
+        for _ in range(10):
+            acc.add(rng.integers(0, 50, 20), rng.dirichlet(np.ones(5), 20))
+        total, bts = acc.byte_state()
+        occupied = total > 0
+        assert (bts[occupied].sum(axis=1) == 255).all()
+        assert (bts[~occupied] == 0).all()
+
+    def test_merge_close_to_dense_merge(self):
+        rng = np.random.default_rng(4)
+        a = ByteAccumulator(100)
+        b = ByteAccumulator(100)
+        za = rng.dirichlet([4, 1, 1, 1, 0.2], 300)
+        zb = rng.dirichlet([1, 4, 1, 1, 0.2], 300)
+        pa = rng.integers(0, 100, 300)
+        pb = rng.integers(0, 100, 300)
+        a.add(pa, za)
+        b.add(pb, zb)
+        expect = a.snapshot() + b.snapshot()
+        a.merge(b)
+        assert np.allclose(a.snapshot().sum(axis=1), expect.sum(axis=1), atol=1e-3)
+        assert np.abs(a.snapshot() - expect).max() < expect.sum(axis=1).max() / 100
+
+    def test_buffer_round_trip(self):
+        rng = np.random.default_rng(5)
+        acc = ByteAccumulator(20)
+        acc.add(rng.integers(0, 20, 40), rng.dirichlet(np.ones(5), 40))
+        back = ByteAccumulator.from_buffers(20, acc.to_buffers())
+        assert np.allclose(back.snapshot(), acc.snapshot())
+        t1, b1 = acc.byte_state()
+        t2, b2 = back.byte_state()
+        assert (b1 == b2).all()
+
+    def test_nbytes_smaller_than_dense(self):
+        from repro.memory.dense import DenseAccumulator
+
+        assert ByteAccumulator(1000).nbytes() < DenseAccumulator(1000).nbytes()
+        assert ByteAccumulator(1000).nbytes() == 1000 * (4 + 5)
+
+    def test_total_depth_exact(self):
+        acc = ByteAccumulator(5)
+        acc.add(np.array([2, 2]), np.array([[1, 0, 0, 0, 0], [0, 0.5, 0, 0, 0]]))
+        assert acc.total_depth()[2] == pytest.approx(1.5)

@@ -1,0 +1,97 @@
+"""Property-based tests over the accumulator implementations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.base import make_accumulator
+from repro.memory.chardisc import quantize_rows
+
+MODES = ["NORM", "CHARDISC", "CENTDISC"]
+
+
+@st.composite
+def add_batches(draw, length=40, max_batches=5, max_rows=30):
+    n_batches = draw(st.integers(min_value=1, max_value=max_batches))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(n_batches):
+        rows = int(rng.integers(1, max_rows))
+        pos = rng.integers(0, length, rows)
+        z = rng.dirichlet([4, 1, 1, 1, 0.3], rows) * rng.uniform(0.2, 1.5, rows)[:, None]
+        batches.append((pos, z))
+    return batches
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches=add_batches(), mode=st.sampled_from(MODES))
+def test_total_mass_conserved(batches, mode):
+    """Whatever the discretisation, per-position *totals* are exact."""
+    length = 40
+    acc = make_accumulator(mode, length)
+    expect = np.zeros(length)
+    for pos, z in batches:
+        acc.add(pos, z)
+        np.add.at(expect, pos, z.sum(axis=1))
+    assert np.allclose(acc.total_depth(), expect, rtol=1e-4, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches=add_batches(), mode=st.sampled_from(MODES))
+def test_snapshot_nonnegative_and_bounded(batches, mode):
+    length = 40
+    acc = make_accumulator(mode, length)
+    for pos, z in batches:
+        acc.add(pos, z)
+    snap = acc.snapshot()
+    assert (snap >= -1e-9).all()
+    assert np.isfinite(snap).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(batches=add_batches(), mode=st.sampled_from(MODES))
+def test_buffer_round_trip_identity(batches, mode):
+    length = 40
+    acc = make_accumulator(mode, length)
+    for pos, z in batches:
+        acc.add(pos, z)
+    back = type(acc).from_buffers(length, acc.to_buffers())
+    assert np.allclose(back.snapshot(), acc.snapshot())
+
+
+@settings(max_examples=20, deadline=None)
+@given(batches=add_batches(max_batches=4), mode=st.sampled_from(MODES))
+def test_merge_conserves_totals(batches, mode):
+    length = 40
+    half = len(batches) // 2
+    a = make_accumulator(mode, length)
+    b = make_accumulator(mode, length)
+    expect = np.zeros(length)
+    for pos, z in batches[:half] or batches[:1]:
+        a.add(pos, z)
+        np.add.at(expect, pos, z.sum(axis=1))
+    for pos, z in batches[half:]:
+        b.add(pos, z)
+        np.add.at(expect, pos, z.sum(axis=1))
+    if half == 0:
+        # batches[:1] was double-counted above when half == 0; recompute
+        expect = np.zeros(length)
+        for pos, z in batches[:1] + batches:
+            np.add.at(expect, pos, z.sum(axis=1))
+    a.merge(b)
+    assert np.allclose(a.total_depth(), expect, rtol=1e-4, atol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=1, max_value=30))
+def test_quantize_rows_invariants(seed, rows):
+    rng = np.random.default_rng(seed)
+    real = rng.dirichlet(np.ones(5), rows) * rng.uniform(0.01, 300, rows)[:, None]
+    totals = real.sum(axis=1)
+    q = quantize_rows(real, totals)
+    assert (q.sum(axis=1) == 255).all()
+    # reconstruction error bounded by one byte step per channel
+    recon = q.astype(float) / 255 * totals[:, None]
+    assert (np.abs(recon - real) <= totals[:, None] / 255 + 1e-9).all()

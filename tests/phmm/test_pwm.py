@@ -1,0 +1,107 @@
+"""Tests for position-weight matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.genome.alphabet import encode
+from repro.genome.fastq import Read
+from repro.phmm.pwm import (
+    flat_pwm,
+    pwm_from_codes,
+    pwm_from_read,
+    reverse_complement_pwm,
+    validate_pwm,
+)
+
+
+class TestPwmFromCodes:
+    def test_known_values(self):
+        pwm = pwm_from_codes(encode("AC"), np.array([0.03, 0.3]))
+        assert pwm[0].tolist() == pytest.approx([0.97, 0.01, 0.01, 0.01])
+        assert pwm[1, 1] == pytest.approx(0.7)
+        assert pwm[1, 0] == pytest.approx(0.1)
+
+    def test_rows_normalise(self):
+        rng = np.random.default_rng(0)
+        pwm = pwm_from_codes(
+            rng.integers(0, 4, 50).astype(np.uint8), rng.uniform(0, 1, 50)
+        )
+        validate_pwm(pwm)
+
+    def test_n_rejected(self):
+        with pytest.raises(SequenceError):
+            pwm_from_codes(encode("AN"), np.array([0.1, 0.1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SequenceError):
+            pwm_from_codes(encode("ACG"), np.array([0.1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            pwm_from_codes(encode(""), np.array([]))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SequenceError):
+            pwm_from_codes(encode("A"), np.array([1.5]))
+
+    def test_from_read(self):
+        read = Read("r", encode("ACGT"), np.array([10, 20, 30, 40], dtype=np.uint8))
+        pwm = pwm_from_read(read)
+        assert pwm[0, 0] == pytest.approx(0.9)
+        assert pwm[3, 3] == pytest.approx(0.9999)
+
+
+class TestFlatPwm:
+    def test_one_hot(self):
+        pwm = flat_pwm(encode("ACGT"))
+        assert (pwm == np.eye(4)).all()
+
+    def test_n_rejected(self):
+        with pytest.raises(SequenceError):
+            flat_pwm(encode("N"))
+
+
+class TestReverseComplementPwm:
+    def test_involution(self):
+        rng = np.random.default_rng(1)
+        pwm = pwm_from_codes(
+            rng.integers(0, 4, 30).astype(np.uint8), rng.uniform(0, 0.5, 30)
+        )
+        assert np.allclose(reverse_complement_pwm(reverse_complement_pwm(pwm)), pwm)
+
+    def test_matches_revcomp_read(self):
+        # PWM of revcomp(read) must equal revcomp of PWM(read)
+        from repro.genome.alphabet import reverse_complement
+
+        codes = encode("AACGT")
+        errs = np.array([0.01, 0.02, 0.05, 0.1, 0.2])
+        direct = pwm_from_codes(reverse_complement(codes), errs[::-1])
+        via_pwm = reverse_complement_pwm(pwm_from_codes(codes, errs))
+        assert np.allclose(direct, via_pwm)
+
+    def test_shape_rejected(self):
+        with pytest.raises(SequenceError):
+            reverse_complement_pwm(np.ones((3, 3)))
+
+
+class TestValidatePwm:
+    def test_rejects_negative(self):
+        pwm = np.full((2, 4), 0.25)
+        pwm[0, 0] = -0.1
+        with pytest.raises(SequenceError):
+            validate_pwm(pwm)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(SequenceError):
+            validate_pwm(np.full((2, 4), 0.3))
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_generated_pwms_always_valid(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pwm = pwm_from_codes(
+            rng.integers(0, 4, n).astype(np.uint8), rng.uniform(0, 1, n)
+        )
+        validate_pwm(pwm)

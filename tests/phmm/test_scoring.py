@@ -1,0 +1,82 @@
+"""Tests for multiread mapping-weight normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.phmm.scoring import group_normalize, normalize_location_weights
+
+
+class TestNormalizeLocationWeights:
+    def test_sums_to_one(self):
+        w = normalize_location_weights(np.array([-10.0, -11.0, -12.0]))
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[1] > w[2]
+
+    def test_equal_likelihoods_split_evenly(self):
+        w = normalize_location_weights(np.array([-5.0, -5.0]), min_ratio=0)
+        assert np.allclose(w, 0.5)
+
+    def test_ratio_matches_likelihoods(self):
+        w = normalize_location_weights(np.array([0.0, np.log(0.25)]), min_ratio=0)
+        assert w[0] / w[1] == pytest.approx(4.0)
+
+    def test_min_ratio_drops_weak(self):
+        w = normalize_location_weights(np.array([0.0, -100.0]), min_ratio=1e-6)
+        assert w[1] == 0.0
+        assert w[0] == pytest.approx(1.0)
+
+    def test_infinite_dropped(self):
+        w = normalize_location_weights(np.array([-3.0, -np.inf]))
+        assert w.tolist() == [1.0, 0.0]
+
+    def test_all_impossible_zero(self):
+        w = normalize_location_weights(np.array([-np.inf, -np.inf]))
+        assert (w == 0).all()
+
+    def test_huge_magnitudes_no_overflow(self):
+        w = normalize_location_weights(np.array([-5000.0, -5001.0]))
+        assert np.isfinite(w).all()
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert normalize_location_weights(np.array([])).size == 0
+
+    def test_validation(self):
+        with pytest.raises(AlignmentError):
+            normalize_location_weights(np.zeros((2, 2)))
+        with pytest.raises(AlignmentError):
+            normalize_location_weights(np.array([0.0]), min_ratio=1.5)
+
+
+class TestGroupNormalize:
+    def test_per_group_sums(self):
+        logliks = np.array([-1.0, -2.0, -3.0, -1.0, -1.0])
+        groups = np.array([0, 0, 0, 1, 1])
+        w = group_normalize(logliks, groups, min_ratio=0)
+        assert w[:3].sum() == pytest.approx(1.0)
+        assert w[3:].sum() == pytest.approx(1.0)
+        assert np.allclose(w[3:], 0.5)
+
+    def test_single_group(self):
+        w = group_normalize(np.array([-1.0, -1.0]), np.array([7, 7]), min_ratio=0)
+        assert np.allclose(w, 0.5)
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(AlignmentError, match="contiguous"):
+            group_normalize(np.zeros(3), np.array([0, 1, 0]))
+
+    def test_empty(self):
+        assert group_normalize(np.array([]), np.array([])).size == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AlignmentError):
+            group_normalize(np.zeros(3), np.zeros(2))
+
+    def test_matches_scalar_path(self):
+        rng = np.random.default_rng(0)
+        logliks = rng.uniform(-30, -5, 10)
+        groups = np.array([0] * 4 + [1] * 6)
+        w = group_normalize(logliks, groups)
+        assert np.allclose(w[:4], normalize_location_weights(logliks[:4]))
+        assert np.allclose(w[4:], normalize_location_weights(logliks[4:]))

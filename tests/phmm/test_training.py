@@ -1,0 +1,97 @@
+"""Tests for Baum-Welch transition fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.phmm.forward_backward import emissions_batch, forward_batch
+from repro.phmm.model import PHMMParams
+from repro.phmm.pwm import pwm_from_codes
+from repro.phmm.training import (
+    expected_transition_counts,
+    fit_transitions,
+)
+from repro.simulate.error_model import apply_indels
+
+
+def make_training_batch(n_pairs=24, read_len=30, pad=4, indel_rate=0.0, seed=0):
+    """Reads sampled from windows, optionally with planted indels."""
+    rng = np.random.default_rng(seed)
+    pwms, windows = [], []
+    for _ in range(n_pairs):
+        window = rng.integers(0, 4, read_len + 2 * pad).astype(np.uint8)
+        codes = window[pad : pad + read_len].copy()
+        if indel_rate > 0:
+            codes = apply_indels(codes, indel_rate, rng)
+        pwms.append(pwm_from_codes(codes, np.full(read_len, 0.01)))
+        windows.append(window)
+    return np.stack(pwms), np.stack(windows)
+
+
+class TestExpectedCounts:
+    def test_structural_zeros(self):
+        pwms, windows = make_training_batch(6)
+        counts, ll = expected_transition_counts(pwms, windows, PHMMParams())
+        assert counts[1, 2] == 0.0 and counts[2, 1] == 0.0  # no GX <-> GY
+        assert np.isfinite(ll)
+        assert (counts >= 0).all()
+
+    def test_match_transitions_dominate_on_clean_data(self):
+        pwms, windows = make_training_batch(6)
+        counts, _ = expected_transition_counts(pwms, windows, PHMMParams())
+        assert counts[0, 0] > 10 * (counts[0, 1] + counts[0, 2])
+
+    def test_counts_scale_with_batch(self):
+        pwms, windows = make_training_batch(4, seed=1)
+        c1, _ = expected_transition_counts(pwms, windows, PHMMParams())
+        c2, _ = expected_transition_counts(
+            np.concatenate([pwms, pwms]), np.concatenate([windows, windows]),
+            PHMMParams(),
+        )
+        assert np.allclose(c2, 2 * c1, rtol=1e-8)
+
+
+class TestFitTransitions:
+    def test_loglik_nondecreasing(self):
+        pwms, windows = make_training_batch(16, indel_rate=0.05, seed=2)
+        result = fit_transitions(pwms, windows, max_iter=8)
+        history = np.array(result.loglik_history)
+        assert (np.diff(history) >= -1e-6).all(), history
+
+    def test_indel_data_raises_gap_open(self):
+        clean_pwms, clean_windows = make_training_batch(20, seed=3)
+        indel_pwms, indel_windows = make_training_batch(20, indel_rate=0.08, seed=3)
+        init = PHMMParams(gap_open=0.02, gap_extend=0.3)
+        fit_clean = fit_transitions(clean_pwms, clean_windows, init=init, max_iter=6)
+        fit_indel = fit_transitions(indel_pwms, indel_windows, init=init, max_iter=6)
+        assert fit_indel.params.gap_open > fit_clean.params.gap_open
+
+    def test_clean_data_drives_gap_open_down(self):
+        pwms, windows = make_training_batch(20, seed=4)
+        init = PHMMParams(gap_open=0.1, gap_extend=0.5)
+        result = fit_transitions(pwms, windows, init=init, max_iter=6)
+        assert result.params.gap_open < 0.05
+
+    def test_fitted_params_valid(self):
+        pwms, windows = make_training_batch(10, indel_rate=0.05, seed=5)
+        result = fit_transitions(pwms, windows, max_iter=4)
+        result.params.validate_stochastic()
+        assert 0 < result.params.gap_open < 0.5
+        assert 0 < result.params.gap_extend < 1
+
+    def test_emissions_untouched(self):
+        pwms, windows = make_training_batch(8, seed=6)
+        init = PHMMParams()
+        result = fit_transitions(pwms, windows, init=init, max_iter=3)
+        assert np.allclose(result.params.emission, init.emission)
+        assert result.params.q == init.q
+
+    def test_validation(self):
+        pwms, windows = make_training_batch(4, seed=7)
+        with pytest.raises(ModelError):
+            fit_transitions(pwms, windows, max_iter=0)
+
+    def test_convergence_flag(self):
+        pwms, windows = make_training_batch(12, seed=8)
+        result = fit_transitions(pwms, windows, max_iter=15)
+        assert result.converged

@@ -1,0 +1,48 @@
+"""Tests for compute-cost calibration."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.experiments.workload import build_workload
+from repro.pipeline.calibration import ComputeCalibration
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(scale="tiny", seed=55)
+
+
+class TestComputeCalibration:
+    def test_measure_produces_positive_costs(self, workload):
+        calib = ComputeCalibration.measure(workload.reference, workload.reads[:150])
+        assert calib.seconds_per_seed > 0
+        assert calib.seconds_per_pair > 0
+        assert calib.pairs_per_read >= 1.0
+        assert calib.seconds_per_index_base > 0
+        assert calib.seconds_per_called_position > 0
+
+    def test_mapping_seconds_composition(self):
+        calib = ComputeCalibration(
+            seconds_per_seed=1e-3,
+            seconds_per_pair=2e-3,
+            pairs_per_read=1.5,
+            seconds_per_index_base=1e-7,
+            seconds_per_called_position=1e-7,
+        )
+        assert calib.mapping_seconds(100, 200) == pytest.approx(0.1 + 0.4)
+        # falls back to the calibrated candidate rate
+        assert calib.mapping_seconds(100) == pytest.approx(0.1 + 150 * 2e-3)
+        assert calib.seconds_per_read == pytest.approx(1e-3 + 1.5 * 2e-3)
+
+    def test_index_and_calling_charges(self):
+        calib = ComputeCalibration(1e-3, 1e-3, 1.0, 2e-7, 3e-7)
+        assert calib.index_seconds(10**6) == pytest.approx(0.2)
+        assert calib.calling_seconds(10**6) == pytest.approx(0.3)
+
+    def test_empty_reads_rejected(self, workload):
+        with pytest.raises(PipelineError):
+            ComputeCalibration.measure(workload.reference, [])
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(PipelineError):
+            ComputeCalibration(-1e-3, 1e-3, 1.0, 1e-7, 1e-7)

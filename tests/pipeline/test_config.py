@@ -1,0 +1,45 @@
+"""Tests for pipeline configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline.config import PipelineConfig
+
+
+class TestPipelineConfig:
+    def test_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.k == 10  # the paper's default mer-size
+        assert cfg.accumulator == "NORM"
+        assert cfg.alignment_mode == "semiglobal"
+
+    def test_accumulator_names(self):
+        for name in ("NORM", "CHARDISC", "CENTDISC", "chardisc"):
+            PipelineConfig(accumulator=name)
+        with pytest.raises(ConfigError):
+            PipelineConfig(accumulator="DENSE")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(k=0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(pad=-1)
+        with pytest.raises(ConfigError):
+            PipelineConfig(batch_size=0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(edge_policy="wat")
+        with pytest.raises(ConfigError):
+            PipelineConfig(min_ratio=1.0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(alignment_mode="local")
+
+    def test_subconfigs_carried(self):
+        from repro.calling.caller import CallerConfig
+        from repro.index.seeding import SeederConfig
+
+        cfg = PipelineConfig(
+            seeder=SeederConfig(min_support=3),
+            caller=CallerConfig(alpha=0.01),
+        )
+        assert cfg.seeder.min_support == 3
+        assert cfg.caller.alpha == 0.01

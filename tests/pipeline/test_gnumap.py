@@ -1,0 +1,150 @@
+"""Tests for the serial GNUMAP-SNP pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.evaluation.metrics import compare_to_truth
+from repro.experiments.workload import build_workload
+from repro.genome.fastq import Read
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp, MappingStats
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(scale="tiny", seed=101)
+
+
+@pytest.fixture(scope="module")
+def pipeline(workload):
+    return GnumapSnp(workload.reference, PipelineConfig())
+
+
+@pytest.fixture(scope="module")
+def result(pipeline, workload):
+    return pipeline.run(workload.reads)
+
+
+class TestEndToEnd:
+    def test_most_reads_map(self, result, workload):
+        assert result.stats.n_reads == workload.n_reads
+        assert result.stats.n_mapped > 0.95 * workload.n_reads
+        assert result.stats.n_pairs >= result.stats.n_mapped
+
+    def test_finds_planted_snps_with_high_precision(self, result, workload):
+        counts = compare_to_truth(result.snps, workload.catalog)
+        assert counts.precision >= 0.9
+        assert counts.recall >= 0.3  # tiny workload is low-coverage
+
+    def test_deterministic(self, pipeline, workload, result):
+        again = pipeline.run(workload.reads)
+        assert {(s.pos, s.alt_name) for s in again.snps} == {
+            (s.pos, s.alt_name) for s in result.snps
+        }
+        assert np.allclose(
+            again.accumulator.snapshot(), result.accumulator.snapshot()
+        )
+
+    def test_timers_populated(self, result):
+        for stage in ("seed", "align", "accumulate", "call"):
+            assert stage in result.timers
+            assert result.timers[stage].elapsed > 0
+
+    def test_alt_alleles_match_truth(self, result, workload):
+        counts = compare_to_truth(result.snps, workload.catalog, allele_aware=True)
+        loose = compare_to_truth(result.snps, workload.catalog)
+        assert counts.tp >= 0.9 * loose.tp
+
+    def test_evidence_depth_near_coverage(self, result, workload):
+        depth = result.accumulator.total_depth()
+        interior = depth[100:-100]
+        assert abs(np.median(interior) - workload.coverage) < workload.coverage * 0.4
+
+
+class TestStages:
+    def test_accumulator_reuse_is_online(self, pipeline, workload):
+        acc = pipeline.new_accumulator()
+        half = workload.n_reads // 2
+        pipeline.map_reads(workload.reads[:half], accumulator=acc)
+        first_total = acc.total_depth().sum()
+        pipeline.map_reads(workload.reads[half:], accumulator=acc)
+        assert acc.total_depth().sum() > first_total
+
+    def test_split_mapping_equals_single_run(self, pipeline, workload, result):
+        acc = pipeline.new_accumulator()
+        third = workload.n_reads // 3
+        pipeline.map_reads(workload.reads[:third], accumulator=acc)
+        pipeline.map_reads(workload.reads[third:], accumulator=acc)
+        assert np.allclose(
+            acc.snapshot(), result.accumulator.snapshot(), atol=1e-3
+        )
+
+    def test_wrong_accumulator_length_rejected(self, pipeline, workload):
+        from repro.memory.base import make_accumulator
+
+        with pytest.raises(PipelineError):
+            pipeline.map_reads(
+                workload.reads[:1], accumulator=make_accumulator("NORM", 10)
+            )
+
+    def test_no_reads(self, pipeline):
+        acc, stats = pipeline.map_reads([])
+        assert stats == MappingStats()
+        assert acc.total_depth().sum() == 0
+        assert pipeline.call_snps(acc) == []
+
+    def test_unmappable_read_counted(self, pipeline):
+        rng = np.random.default_rng(0)
+        junk = Read(
+            "junk",
+            rng.integers(0, 4, 62).astype(np.uint8),
+            np.full(62, 40, dtype=np.uint8),
+        )
+        _acc, stats = pipeline.map_reads([junk])
+        assert stats.n_unmapped >= 0
+        assert stats.n_reads == 1
+
+
+class TestConfigurations:
+    def test_quality_blind_runs(self, workload):
+        pipe = GnumapSnp(workload.reference, PipelineConfig(quality_aware=False))
+        result = pipe.run(workload.reads[:200])
+        assert result.stats.n_mapped > 0
+
+    def test_discretised_accumulators_close_to_dense(self, workload):
+        reads = workload.reads
+        dense = GnumapSnp(workload.reference, PipelineConfig()).run(reads)
+        byte = GnumapSnp(
+            workload.reference, PipelineConfig(accumulator="CHARDISC")
+        ).run(reads)
+        d = {(s.pos, s.alt_name) for s in dense.snps}
+        b = {(s.pos, s.alt_name) for s in byte.snps}
+        # CHARDISC loses at most a small fraction of calls, adds none
+        assert b <= d or len(b - d) <= 1
+        assert len(d - b) <= max(2, len(d) // 2)
+
+    def test_small_batch_size_same_result(self, workload):
+        reads = workload.reads[:300]
+        big = GnumapSnp(workload.reference, PipelineConfig(batch_size=4096)).run(reads)
+        small = GnumapSnp(workload.reference, PipelineConfig(batch_size=16)).run(reads)
+        assert np.allclose(
+            big.accumulator.snapshot(), small.accumulator.snapshot(), atol=1e-6
+        )
+
+    def test_mixed_read_lengths_supported(self, workload):
+        ref = workload.reference
+        rng = np.random.default_rng(1)
+        reads = []
+        for i, L in enumerate([40, 40, 60, 60, 40]):
+            pos = int(rng.integers(0, len(ref) - L))
+            reads.append(
+                Read(
+                    f"m{i}",
+                    ref.codes[pos : pos + L].copy(),
+                    np.full(L, 38, dtype=np.uint8),
+                )
+            )
+        pipe = GnumapSnp(ref, PipelineConfig())
+        _acc, stats = pipe.map_reads(reads)
+        assert stats.n_mapped == 5

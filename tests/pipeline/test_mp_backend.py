@@ -1,0 +1,49 @@
+"""Tests for the real multiprocessing backend (small workloads: process
+startup dominates, so these verify correctness, not speed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.experiments.workload import build_workload
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+from repro.pipeline.mp_backend import run_multiprocessing
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = build_workload(scale="tiny", seed=31)
+    # trim to keep the process-pool test fast
+    wl.reads = wl.reads[:250]
+    return wl
+
+
+class TestMultiprocessingBackend:
+    def test_single_worker_is_serial(self, workload):
+        config = PipelineConfig()
+        serial = GnumapSnp(workload.reference, config).run(workload.reads)
+        mp1 = run_multiprocessing(workload.reference, workload.reads, config, n_workers=1)
+        assert {(s.pos, s.alt_name) for s in mp1.snps} == {
+            (s.pos, s.alt_name) for s in serial.snps
+        }
+
+    def test_two_workers_match_serial(self, workload):
+        config = PipelineConfig()
+        serial = GnumapSnp(workload.reference, config).run(workload.reads)
+        mp2 = run_multiprocessing(workload.reference, workload.reads, config, n_workers=2)
+        assert {(s.pos, s.alt_name) for s in mp2.snps} == {
+            (s.pos, s.alt_name) for s in serial.snps
+        }
+        assert np.allclose(
+            mp2.accumulator.snapshot(), serial.accumulator.snapshot(), atol=1e-3
+        )
+        assert mp2.stats.n_reads == len(workload.reads)
+
+    def test_zero_workers_rejected(self, workload):
+        with pytest.raises(PipelineError):
+            run_multiprocessing(workload.reference, workload.reads, n_workers=0)
+
+    def test_empty_reads(self, workload):
+        result = run_multiprocessing(workload.reference, [], n_workers=2)
+        assert result.snps == []

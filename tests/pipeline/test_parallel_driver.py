@@ -1,0 +1,152 @@
+"""Tests for the two MPI-mode programs against the serial pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workload import build_workload
+from repro.parallel.cluster import Cluster
+from repro.parallel.costmodel import LogGPModel
+from repro.pipeline.calibration import ComputeCalibration
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+from repro.pipeline.parallel_driver import run_memory_spread, run_read_spread
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(scale="tiny", seed=77)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig()
+
+
+@pytest.fixture(scope="module")
+def serial_snps(workload, config):
+    result = GnumapSnp(workload.reference, config).run(workload.reads)
+    return {(s.pos, s.alt_name) for s in result.snps}
+
+
+class TestReadSpread:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 5])
+    def test_matches_serial(self, workload, config, serial_snps, n_ranks):
+        res = Cluster(n_ranks).run(
+            run_read_spread, workload.reference, workload.reads, config
+        )
+        out = res.results[0]
+        assert {(s.pos, s.alt_name) for s in out.snps} == serial_snps
+        assert out.stats.n_reads == workload.n_reads
+        # non-root ranks return empty results
+        for other in res.results[1:]:
+            assert other.snps is None
+
+    def test_virtual_speedup_with_calibration(self, workload, config):
+        calib = ComputeCalibration.measure(
+            workload.reference, workload.reads[:150], config
+        )
+        cost = LogGPModel()
+        t1 = Cluster(1, cost).run(
+            run_read_spread, workload.reference, workload.reads, config, calib
+        ).makespan
+        t4 = Cluster(4, cost).run(
+            run_read_spread, workload.reference, workload.reads, config, calib
+        ).makespan
+        speedup = t1 / t4
+        assert 2.0 < speedup <= 4.5
+
+
+class TestMemorySpread:
+    @pytest.mark.parametrize("n_ranks", [2, 3])
+    def test_matches_serial(self, workload, config, serial_snps, n_ranks):
+        res = Cluster(n_ranks).run(
+            run_memory_spread, workload.reference, workload.reads, config
+        )
+        out = res.results[0]
+        assert {(s.pos, s.alt_name) for s in out.snps} == serial_snps
+
+    def test_snps_sorted_by_position(self, workload, config):
+        res = Cluster(3).run(
+            run_memory_spread, workload.reference, workload.reads, config
+        )
+        positions = [s.pos for s in res.results[0].snps]
+        assert positions == sorted(positions)
+
+    def test_scales_worse_than_read_spread(self, workload, config):
+        calib = ComputeCalibration.measure(
+            workload.reference, workload.reads[:150], config
+        )
+        cost = LogGPModel()
+        p = 4
+        rs = Cluster(p, cost).run(
+            run_read_spread, workload.reference, workload.reads, config, calib
+        ).makespan
+        ms = Cluster(p, cost).run(
+            run_memory_spread, workload.reference, workload.reads, config, calib
+        ).makespan
+        assert ms > rs  # Fig 4's conclusion
+
+    def test_single_rank_degenerates_to_serial(self, workload, config, serial_snps):
+        res = Cluster(1).run(
+            run_memory_spread, workload.reference, workload.reads, config
+        )
+        got = {(s.pos, s.alt_name) for s in res.results[0].snps}
+        assert got == serial_snps
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("n_ranks,n_groups", [(4, 2), (6, 3), (4, 1), (2, 2)])
+    def test_matches_serial(self, workload, config, serial_snps, n_ranks, n_groups):
+        from repro.pipeline.parallel_driver import run_hybrid
+
+        res = Cluster(n_ranks).run(
+            run_hybrid, workload.reference, workload.reads, config, None, n_groups
+        )
+        got = {(s.pos, s.alt_name) for s in res.results[0].snps}
+        assert got == serial_snps
+
+    def test_indivisible_world_rejected(self, workload, config):
+        from repro.errors import CommError
+        from repro.pipeline.parallel_driver import run_hybrid
+
+        with pytest.raises(CommError):
+            Cluster(5, timeout=10.0).run(
+                run_hybrid, workload.reference, workload.reads, config, None, 2
+            )
+
+    def test_hybrid_seeds_less_than_memory_spread(self, workload, config):
+        """The hybrid mode's point: per-rank seeding work drops by the group
+        size, so its calibrated makespan beats pure memory-spread at equal
+        rank count."""
+        calib = ComputeCalibration.measure(
+            workload.reference, workload.reads[:150], config
+        )
+        from repro.pipeline.parallel_driver import run_hybrid
+
+        cost = LogGPModel()
+        ms = Cluster(4, cost).run(
+            run_memory_spread, workload.reference, workload.reads, config, calib
+        ).makespan
+        hy = Cluster(4, cost).run(
+            run_hybrid, workload.reference, workload.reads, config, calib, 2
+        ).makespan
+        assert hy < ms
+
+
+class TestEvidenceEquivalence:
+    def test_read_spread_accumulator_bitwise_close(self, workload, config):
+        serial = GnumapSnp(workload.reference, config)
+        serial_acc, _ = serial.map_reads(workload.reads)
+
+        def program(comm):
+            from repro.parallel.partition import partition_reads_contiguous, take
+            from repro.parallel.reduction import reduce_accumulator
+
+            pipe = GnumapSnp(workload.reference, config)
+            sl = partition_reads_contiguous(len(workload.reads), comm.size)[comm.rank]
+            acc, _ = pipe.map_reads(take(workload.reads, sl))
+            return reduce_accumulator(comm, acc)
+
+        res = Cluster(3).run(program)
+        merged = res.results[0]
+        assert np.allclose(merged.snapshot(), serial_acc.snapshot(), atol=1e-3)

@@ -1,0 +1,127 @@
+"""Tests for the Illumina-like error model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.genome.fastq import MAX_QUALITY
+from repro.simulate.error_model import IlluminaErrorModel, apply_indels
+
+
+class TestErrorProfile:
+    def test_monotone_ramp(self):
+        model = IlluminaErrorModel(start_error=0.001, end_error=0.02)
+        prof = model.error_profile(62)
+        assert prof[0] == pytest.approx(0.001)
+        assert prof[-1] == pytest.approx(0.02)
+        assert (np.diff(prof) >= 0).all()
+
+    def test_single_base(self):
+        prof = IlluminaErrorModel(start_error=0.005).error_profile(1)
+        assert prof.tolist() == [0.005]
+
+    def test_bad_length(self):
+        with pytest.raises(ConfigError):
+            IlluminaErrorModel().error_profile(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            IlluminaErrorModel(start_error=1.5)
+        with pytest.raises(ConfigError):
+            IlluminaErrorModel(ramp=0)
+        with pytest.raises(ConfigError):
+            IlluminaErrorModel(quality_noise_sd=-1)
+        with pytest.raises(ConfigError):
+            IlluminaErrorModel(indel_rate=0.9)
+
+
+class TestQualities:
+    def test_qualities_track_errors_without_noise(self):
+        model = IlluminaErrorModel(quality_noise_sd=0.0)
+        rng = np.random.default_rng(0)
+        quals = model.sample_qualities(np.array([0.1, 0.01, 0.001]), rng)
+        assert quals.tolist() == [10, 20, 30]
+
+    def test_qualities_clipped(self):
+        model = IlluminaErrorModel(quality_noise_sd=0.0)
+        rng = np.random.default_rng(0)
+        quals = model.sample_qualities(np.array([1e-12, 0.9]), rng)
+        assert quals[0] == MAX_QUALITY
+        assert quals[1] >= 2
+
+    def test_noise_perturbs(self):
+        model = IlluminaErrorModel(quality_noise_sd=3.0)
+        rng = np.random.default_rng(1)
+        quals = model.sample_qualities(np.full(200, 0.01), rng)
+        assert len(set(quals.tolist())) > 1
+
+
+class TestCorrupt:
+    def test_error_rate_statistics(self):
+        model = IlluminaErrorModel(start_error=0.05, end_error=0.05, quality_noise_sd=0)
+        rng = np.random.default_rng(2)
+        n_err = 0
+        total = 0
+        template = rng.integers(0, 4, 100).astype(np.uint8)
+        for _ in range(200):
+            corrupted, _, mask = model.corrupt(template, rng)
+            n_err += mask.sum()
+            total += template.size
+            # errors always change the base
+            assert (corrupted[mask] != template[mask]).all()
+            assert (corrupted[~mask] == template[~mask]).all()
+        rate = n_err / total
+        assert 0.035 < rate < 0.065
+
+    def test_shapes(self):
+        model = IlluminaErrorModel()
+        rng = np.random.default_rng(3)
+        template = rng.integers(0, 4, 62).astype(np.uint8)
+        codes, quals, mask = model.corrupt(template, rng)
+        assert codes.shape == quals.shape == mask.shape == (62,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            IlluminaErrorModel().corrupt(np.array([], dtype=np.uint8), 0)
+
+    def test_errors_concentrate_at_3prime(self):
+        model = IlluminaErrorModel(start_error=0.0, end_error=0.2, ramp=1.0,
+                                   quality_noise_sd=0)
+        rng = np.random.default_rng(4)
+        template = np.zeros(50, dtype=np.uint8)
+        first_half = second_half = 0
+        for _ in range(300):
+            _, _, mask = model.corrupt(template, rng)
+            first_half += mask[:25].sum()
+            second_half += mask[25:].sum()
+        assert second_half > 2 * first_half
+
+
+class TestIndels:
+    def test_zero_rate_identity(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        rng = np.random.default_rng(0)
+        assert (apply_indels(codes, 0.0, rng) == codes).all()
+
+    def test_length_preserved(self):
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 4, 80).astype(np.uint8)
+        out = apply_indels(codes, 0.1, rng)
+        assert out.size == codes.size
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            apply_indels(np.zeros(5, dtype=np.uint8), 0.7, np.random.default_rng(0))
+
+    def test_indels_change_sequence(self):
+        rng = np.random.default_rng(6)
+        codes = rng.integers(0, 4, 200).astype(np.uint8)
+        out = apply_indels(codes, 0.2, rng)
+        assert (out != codes).any()
+
+    def test_corrupt_with_indels_enabled(self):
+        model = IlluminaErrorModel(indel_rate=0.05)
+        rng = np.random.default_rng(7)
+        template = rng.integers(0, 4, 62).astype(np.uint8)
+        codes, quals, _ = model.corrupt(template, rng)
+        assert codes.size == 62 and quals.size == 62

@@ -1,0 +1,85 @@
+"""Tests for the synthetic genome generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+
+
+class TestGenomeSpec:
+    def test_defaults_valid(self):
+        GenomeSpec()
+
+    def test_bad_length(self):
+        with pytest.raises(ConfigError):
+            GenomeSpec(length=0)
+
+    def test_bad_gc(self):
+        with pytest.raises(ConfigError):
+            GenomeSpec(gc_content=1.5)
+
+    def test_repeats_must_fit(self):
+        with pytest.raises(ConfigError):
+            GenomeSpec(length=1000, n_repeats=10, repeat_length=200)
+
+    def test_bad_divergence(self):
+        with pytest.raises(ConfigError):
+            GenomeSpec(repeat_divergence=2.0)
+
+
+class TestSimulateGenome:
+    def test_length_and_determinism(self):
+        spec = GenomeSpec(length=5000, n_repeats=1, repeat_length=100)
+        r1, rep1 = simulate_genome(spec, seed=1)
+        r2, rep2 = simulate_genome(spec, seed=1)
+        assert len(r1) == 5000
+        assert (r1.codes == r2.codes).all()
+        assert rep1 == rep2
+
+    def test_different_seeds_differ(self):
+        spec = GenomeSpec(length=5000, n_repeats=0)
+        r1, _ = simulate_genome(spec, seed=1)
+        r2, _ = simulate_genome(spec, seed=2)
+        assert (r1.codes != r2.codes).any()
+
+    def test_gc_content_matches_target(self):
+        spec = GenomeSpec(length=100_000, gc_content=0.41, n_repeats=0)
+        ref, _ = simulate_genome(spec, seed=3)
+        assert abs(ref.gc_content() - 0.41) < 0.01
+
+    def test_exact_repeats_are_copies(self):
+        spec = GenomeSpec(
+            length=20_000, n_repeats=3, repeat_length=300, repeat_divergence=0.0
+        )
+        ref, repeats = simulate_genome(spec, seed=4)
+        assert len(repeats) == 3
+        for rep in repeats:
+            src = ref.codes[rep.src_start : rep.src_start + rep.length]
+            dst = ref.codes[rep.copy_start : rep.copy_start + rep.length]
+            assert (src == dst).all()
+
+    def test_diverged_repeats_close_but_not_identical(self):
+        spec = GenomeSpec(
+            length=20_000, n_repeats=2, repeat_length=400, repeat_divergence=0.05
+        )
+        ref, repeats = simulate_genome(spec, seed=5)
+        for rep in repeats:
+            src = ref.codes[rep.src_start : rep.src_start + rep.length]
+            dst = ref.codes[rep.copy_start : rep.copy_start + rep.length]
+            frac_diff = (src != dst).mean()
+            assert 0.0 < frac_diff < 0.15
+
+    def test_n_run_planted(self):
+        spec = GenomeSpec(length=10_000, n_repeats=0, n_run_length=500)
+        ref, _ = simulate_genome(spec, seed=6)
+        n_count = int((ref.codes == 4).sum())
+        assert n_count == 500
+        # the run is contiguous
+        pos = np.nonzero(ref.codes == 4)[0]
+        assert pos[-1] - pos[0] == 499
+
+    def test_no_n_without_request(self):
+        spec = GenomeSpec(length=5000, n_repeats=0)
+        ref, _ = simulate_genome(spec, seed=7)
+        assert (ref.codes != 4).all()

@@ -1,0 +1,108 @@
+"""Tests for paired-end read simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.genome.alphabet import reverse_complement
+from repro.simulate.error_model import IlluminaErrorModel
+from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+from repro.simulate.paired import PairedReadSimSpec, PairedReadSimulator
+
+
+def make_ref(length=6000, seed=0):
+    ref, _ = simulate_genome(GenomeSpec(length=length, n_repeats=0), seed=seed)
+    return ref
+
+
+def clean_spec(**kw):
+    defaults = dict(
+        read_length=50,
+        coverage=None,
+        n_pairs=100,
+        insert_mean=250.0,
+        insert_sd=20.0,
+        error_model=IlluminaErrorModel(start_error=0, end_error=0,
+                                       quality_noise_sd=0),
+    )
+    defaults.update(kw)
+    return PairedReadSimSpec(**defaults)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PairedReadSimSpec(read_length=0)
+        with pytest.raises(ConfigError):
+            PairedReadSimSpec(coverage=None, n_pairs=None)
+        with pytest.raises(ConfigError):
+            PairedReadSimSpec(read_length=62, insert_mean=100)
+        with pytest.raises(ConfigError):
+            PairedReadSimSpec(insert_sd=-1)
+
+    def test_pair_count_from_coverage(self):
+        spec = PairedReadSimSpec(read_length=50, coverage=10.0)
+        assert spec.resolve_n_pairs(1000) == 100
+
+
+class TestSimulator:
+    def test_deterministic(self):
+        ref = make_ref()
+        p1 = PairedReadSimulator([ref], clean_spec(), seed=3).simulate()
+        p2 = PairedReadSimulator([ref], clean_spec(), seed=3).simulate()
+        assert len(p1) == 100
+        for a, b in zip(p1, p2):
+            assert (a.read1.codes == b.read1.codes).all()
+            assert a.fragment_start == b.fragment_start
+
+    def test_geometry(self):
+        ref = make_ref()
+        pairs = PairedReadSimulator([ref], clean_spec(), seed=4).simulate()
+        for pair in pairs:
+            L = 50
+            assert pair.insert_size >= 2 * L
+            # mates on opposite strands, inward-facing
+            assert pair.read1.true_strand == -pair.read2.true_strand
+            fwd = pair.read1 if pair.read1.true_strand == 1 else pair.read2
+            rev = pair.read2 if pair.read1.true_strand == 1 else pair.read1
+            assert fwd.true_pos == pair.fragment_start
+            assert rev.true_pos == pair.fragment_start + pair.insert_size - L
+            assert rev.true_pos >= fwd.true_pos
+
+    def test_sequences_match_template(self):
+        ref = make_ref()
+        pairs = PairedReadSimulator([ref], clean_spec(), seed=5).simulate()
+        for pair in pairs[:30]:
+            for read in (pair.read1, pair.read2):
+                template = ref.codes[read.true_pos : read.true_pos + 50]
+                if read.true_strand == 1:
+                    assert (read.codes == template).all()
+                else:
+                    assert (read.codes == reverse_complement(template)).all()
+
+    def test_insert_distribution(self):
+        ref = make_ref(length=20_000)
+        pairs = PairedReadSimulator(
+            [ref], clean_spec(n_pairs=400, insert_mean=300.0, insert_sd=25.0),
+            seed=6,
+        ).simulate()
+        inserts = np.array([p.insert_size for p in pairs])
+        assert abs(inserts.mean() - 300) < 10
+        assert 10 < inserts.std() < 40
+
+    def test_both_orientations_occur(self):
+        ref = make_ref()
+        pairs = PairedReadSimulator([ref], clean_spec(n_pairs=200), seed=7).simulate()
+        strands = {p.read1.true_strand for p in pairs}
+        assert strands == {1, -1}
+
+    def test_mate_names(self):
+        ref = make_ref()
+        pairs = PairedReadSimulator([ref], clean_spec(n_pairs=3), seed=8).simulate()
+        assert pairs[0].read1.name.endswith("/1")
+        assert pairs[0].read2.name.endswith("/2")
+
+    def test_short_genome_rejected(self):
+        ref = make_ref(length=80)
+        with pytest.raises(ConfigError):
+            PairedReadSimulator([ref], clean_spec())

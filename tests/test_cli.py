@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (simulate -> call -> evaluate)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCallEvaluate:
+    def test_full_workflow(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        truth = tmp_path / "truth.tsv"
+        out = tmp_path / "snps.tsv"
+
+        rc = main([
+            "simulate", "--scale", "tiny", "--seed", "5",
+            "--reference", str(ref), "--reads", str(reads), "--truth", str(truth),
+        ])
+        assert rc == 0
+        assert ref.exists() and reads.exists() and truth.exists()
+        sim_out = capsys.readouterr().out
+        assert "reference" in sim_out
+
+        vcf = tmp_path / "calls.vcf"
+        report = tmp_path / "report.md"
+        rc = main([
+            "call", str(ref), str(reads), "-o", str(out),
+            "--vcf", str(vcf), "--report", str(report), "--verbose",
+        ])
+        assert rc == 0
+        call_out = capsys.readouterr().out
+        assert "SNP calls" in call_out
+        assert out.read_text().startswith("pos\t")
+        assert vcf.read_text().startswith("##fileformat=VCF")
+        assert "## Summary" in report.read_text()
+
+        rc = main(["evaluate", str(out), str(truth)])
+        assert rc == 0
+        eval_out = capsys.readouterr().out
+        assert "precision" in eval_out and "TP" in eval_out
+
+    def test_call_rejects_multi_record_fasta(self, tmp_path, capsys):
+        ref = tmp_path / "multi.fa"
+        ref.write_text(">a\nACGTACGTACGTACGT\n>b\nACGTACGTACGTACGT\n")
+        reads = tmp_path / "r.fq"
+        reads.write_text("@r\nACGTACGTACGT\n+\nIIIIIIIIIIII\n")
+        rc = main(["call", str(ref), str(reads)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_map_to_sam(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        sam = tmp_path / "out.sam"
+        main([
+            "simulate", "--scale", "tiny", "--seed", "9",
+            "--reference", str(ref), "--reads", str(reads),
+            "--truth", str(tmp_path / "t.tsv"),
+        ])
+        capsys.readouterr()
+        rc = main(["map", str(ref), str(reads), "-o", str(sam)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "placed" in out
+        text = sam.read_text()
+        assert text.startswith("@HD")
+        assert "\t60\t" in text  # confident unique placements exist
+
+    def test_experiments_table2(self, capsys):
+        rc = main(["experiments", "table2", "--scale", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CHARDISC" in out and "chrX" in out
+
+    def test_diploid_simulation_flags(self, tmp_path):
+        rc = main([
+            "simulate", "--scale", "tiny", "--ploidy", "2",
+            "--het-fraction", "0.5",
+            "--reference", str(tmp_path / "r.fa"),
+            "--reads", str(tmp_path / "r.fq"),
+            "--truth", str(tmp_path / "t.tsv"),
+        ])
+        assert rc == 0
+        truth = (tmp_path / "t.tsv").read_text()
+        assert "het" in truth
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

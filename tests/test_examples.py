@@ -1,0 +1,48 @@
+"""Smoke-run the example scripts as subprocesses.
+
+Examples are deliverables; they must run clean from a fresh interpreter.
+Only the faster examples run here (the scaling and memory-mode demos do the
+same work as the benchmark suite).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "called" in out
+        assert "precision" in out
+
+    def test_fastq_workflow(self, tmp_path):
+        out = run_example("fastq_workflow.py", str(tmp_path))
+        assert "SNP calls" in out
+        assert (tmp_path / "snps.tsv").exists()
+        assert (tmp_path / "reference.fa").exists()
+
+    def test_online_calling(self):
+        out = run_example("online_calling.py")
+        assert "convergence trajectory" in out
+        assert "CALLED" in out
+
+    def test_diploid_calling(self):
+        out = run_example("diploid_calling.py")
+        assert "site detection" in out
+        assert "het" in out

@@ -1,0 +1,59 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import children, resolve_rng, spawn_child
+
+
+class TestResolveRng:
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1 << 30, 10)
+        b = resolve_rng(42).integers(0, 1 << 30, 10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 1 << 30, 10)
+        b = resolve_rng(2).integers(0, 1 << 30, 10)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+class TestSpawnChild:
+    def test_children_independent_of_sibling_count(self):
+        # child i is a function of parent state + index only
+        a = spawn_child(resolve_rng(7), 3).integers(0, 1 << 30, 5)
+        b = spawn_child(resolve_rng(7), 3).integers(0, 1 << 30, 5)
+        assert (a == b).all()
+
+    def test_distinct_indices_distinct_streams(self):
+        parent = resolve_rng(7)
+        s0 = spawn_child(parent, 0)
+        parent2 = resolve_rng(7)
+        s1 = spawn_child(parent2, 1)
+        assert (s0.integers(0, 1 << 30, 8) != s1.integers(0, 1 << 30, 8)).any()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_child(resolve_rng(0), -1)
+
+
+class TestChildren:
+    def test_stable_per_seed(self):
+        a = [g.integers(0, 1 << 30) for g in children(5, 4)]
+        b = [g.integers(0, 1 << 30) for g in children(5, 4)]
+        assert a == b
+
+    def test_count(self):
+        assert len(children(0, 7)) == 7
+        assert children(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            children(0, -1)

@@ -1,0 +1,39 @@
+"""Tests for the text-table formatter."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title_prepended(self):
+        out = format_table(["c"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.123456], [12345.6], [0.0001], [0.0]])
+        assert "0.123" in out
+        assert "1.23e+04" in out or "12345" in out or "1.23e4" in out
+        assert "0.0001" in out
+        # exact zero renders as a plain 0
+        assert "\n0" in out or " 0" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+    def test_columns_aligned(self):
+        out = format_table(["col", "n"], [["aaa", 1], ["b", 22]])
+        lines = out.splitlines()
+        # the separator line has the full width of the widest row
+        assert len(lines[1]) == len(lines[2])

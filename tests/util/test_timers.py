@@ -1,0 +1,59 @@
+"""Tests for stage timers."""
+
+import pytest
+
+from repro.util.timers import StageTimer, TimerRegistry
+
+
+class TestStageTimer:
+    def test_accumulates_over_entries(self):
+        t = StageTimer("x")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.entries == 2
+        assert t.elapsed >= 0
+
+    def test_reentrancy_rejected(self):
+        t = StageTimer("x")
+        with pytest.raises(RuntimeError):
+            with t:
+                t.__enter__()
+
+    def test_add_external_time(self):
+        t = StageTimer("x")
+        t.add(1.5)
+        t.add(0.5)
+        assert t.elapsed == pytest.approx(2.0)
+        assert t.entries == 2
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimer("x").add(-1)
+
+
+class TestTimerRegistry:
+    def test_autocreates_and_reuses(self):
+        reg = TimerRegistry()
+        t1 = reg["align"]
+        t2 = reg["align"]
+        assert t1 is t2
+        assert "align" in reg
+
+    def test_total_sums_stages(self):
+        reg = TimerRegistry()
+        reg["a"].add(1.0)
+        reg["b"].add(2.0)
+        assert reg.total() == pytest.approx(3.0)
+        assert reg.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_report_mentions_all_stages(self):
+        reg = TimerRegistry()
+        reg["seed"].add(0.25)
+        reg["align"].add(0.5)
+        report = reg.report()
+        assert "seed" in report and "align" in report and "TOTAL" in report
+
+    def test_empty_report(self):
+        assert "no stages" in TimerRegistry().report()
