@@ -41,3 +41,13 @@ def record(name: str, text: str) -> None:
     OUTPUT_DIR.mkdir(exist_ok=True)
     with open(OUTPUT_DIR / "results.txt", "a") as fh:
         fh.write(f"==== {name} ====\n{text}\n\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append the whole session's metrics (span tree + counters) to the
+    results artifact, so every benchmark run leaves its accounting behind."""
+    from repro.observability import format_metrics_report, global_registry
+
+    snap = global_registry().snapshot()
+    if snap.counters or snap.spans or snap.gauges:
+        record("metrics", format_metrics_report(snap))

@@ -36,6 +36,7 @@ from repro.calling.pvalues import (
 from repro.calling.records import BaseCall, SNPCall
 from repro.errors import CallingError
 from repro.genome.alphabet import GAP, N
+from repro.observability import current as metrics
 
 
 @dataclass
@@ -135,6 +136,9 @@ class SNPCaller:
         cfg = self.config
         depth = z.sum(axis=1)
         eligible = depth >= cfg.min_depth
+        reg = metrics()
+        reg.inc("caller.positions_seen", P)
+        reg.inc("caller.positions_tested", int(eligible.sum()))
         if not eligible.any():
             return []
         ze = z[eligible]
@@ -208,6 +212,7 @@ class SNPCaller:
                 continue
             if self._differs(genotype, ref):
                 out.append(SNPCall(pos=call.pos, ref_base=ref, call=call))
+        metrics().inc("caller.snps", len(out))
         return out
 
     @staticmethod

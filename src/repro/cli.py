@@ -71,8 +71,17 @@ def _cmd_call(args: argparse.Namespace) -> int:
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
     )
-    pipeline = GnumapSnp(reference, config)
-    result = pipeline.run(reads)
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1:
+        from repro.pipeline.mp_backend import run_multiprocessing
+
+        result = run_multiprocessing(
+            reference, reads, config, n_workers=args.workers
+        )
+    else:
+        pipeline = GnumapSnp(reference, config)
+        result = pipeline.run(reads)
     n = write_snp_calls(args.output, result.snps)
     print(
         f"mapped {result.stats.n_mapped}/{result.stats.n_reads} reads; "
@@ -90,7 +99,10 @@ def _cmd_call(args: argparse.Namespace) -> int:
             fh.write(run_report(result, reference))
         print(f"wrote run report -> {args.report}")
     if args.verbose:
+        from repro.observability import current, format_metrics_report
+
         print(result.timers.report())
+        print(format_metrics_report(current().snapshot()))
     return 0
 
 
@@ -169,6 +181,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_metrics_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics (span tree, counters, gauges) as "
+        "repro.metrics/v1 JSON",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,7 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--vcf", default=None, help="also write VCF here")
     p_call.add_argument("--report", default=None,
                         help="also write a markdown run report here")
+    p_call.add_argument("--workers", type=int, default=1,
+                        help="map reads across this many processes")
     p_call.add_argument("-v", "--verbose", action="store_true")
+    _add_metrics_arg(p_call)
     p_call.set_defaults(func=_cmd_call)
 
     p_map = sub.add_parser("map", help="align reads, write SAM")
@@ -211,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-o", "--output", default="alignments.sam")
     p_map.add_argument("--k", type=int, default=10)
     p_map.add_argument("--max-secondary", type=int, default=4)
+    _add_metrics_arg(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_eval = sub.add_parser("evaluate", help="score calls against truth")
@@ -224,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--scale", default="small",
                        choices=["tiny", "small", "bench", "large"])
     p_exp.add_argument("--seed", type=int, default=2012)
+    _add_metrics_arg(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     return parser
@@ -233,10 +260,22 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        rc = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "metrics_json", None):
+        # current() is the process-global registry in normal CLI use, but
+        # embedders/tests can isolate a run with ``observability.use(...)``.
+        from repro.observability import current, write_metrics_json
+
+        try:
+            write_metrics_json(args.metrics_json, current().snapshot())
+        except OSError as exc:
+            print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote metrics -> {args.metrics_json}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -67,3 +67,7 @@ class PipelineError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration value."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics / tracing misuse (bad span name, negative counter delta, ...)."""

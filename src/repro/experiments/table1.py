@@ -11,10 +11,10 @@ communication), exactly the substitution DESIGN.md documents.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.baselines.maq import MaqLikeCaller
+from repro.observability import scope, span
 from repro.evaluation.metrics import ConfusionCounts, compare_to_truth
 from repro.experiments.workload import Workload, build_workload
 from repro.parallel.cluster import Cluster
@@ -57,10 +57,11 @@ def run(
     config = PipelineConfig()
 
     # --- MAQ-like baseline: measured single-process wall-clock ---
-    t0 = time.perf_counter()
-    maq = MaqLikeCaller(wl.reference, seed=seed)
-    maq_snps = maq.run(wl.reads)
-    maq_minutes = (time.perf_counter() - t0) / 60.0
+    with scope() as reg:
+        with span("maq_baseline"):
+            maq = MaqLikeCaller(wl.reference, seed=seed)
+            maq_snps = maq.run(wl.reads)
+    maq_minutes = reg.snapshot().leaf_totals()["maq_baseline"][0] / 60.0
     maq_counts = compare_to_truth(maq_snps, wl.catalog)
 
     # --- GNUMAP-SNP: serial accuracy + simulated 30-rank makespan ---

@@ -14,10 +14,10 @@ never required the collapse.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.evaluation.metrics import ConfusionCounts, compare_to_truth
+from repro.observability import scope
 from repro.experiments.workload import Workload, build_workload
 from repro.index.hashindex import GenomeIndex
 from repro.memory.footprint import OPTIMIZATIONS, FootprintModel
@@ -60,9 +60,9 @@ def run(
     for opt in OPTIMIZATIONS + ("CENTDISC_WEIGHTED",):
         config = PipelineConfig(accumulator=opt)
         pipe = GnumapSnp(wl.reference, config)
-        t0 = time.perf_counter()
-        result = pipe.run(wl.reads)
-        wall = time.perf_counter() - t0
+        with scope() as reg:
+            result = pipe.run(wl.reads)
+        wall = reg.snapshot().total_span_seconds()
         counts = compare_to_truth(result.snps, wl.catalog)
         index = GenomeIndex(wl.reference)
         mem = result.accumulator.nbytes() + index.nbytes() + len(wl.reference)

@@ -17,6 +17,8 @@ import numpy as np
 from repro.errors import IndexError_
 from repro.genome.reference import Reference
 from repro.index.kmer import MAX_K, rolling_kmers
+from repro.observability import current as metrics
+from repro.observability import span
 
 #: GNUMAP's default mer-size.
 DEFAULT_K = 10
@@ -55,7 +57,21 @@ class GenomeIndex:
         self.reference = reference
         self.k = k
         self.max_positions_per_kmer = max_positions_per_kmer
+        with span("index_build"):
+            self._build()
+        # Index-shape metrics are gauges (max-merge): they describe the
+        # genome, so rebuilding the same index in N worker processes must
+        # not inflate them the way a counter would.
+        reg = metrics()
+        reg.inc("index.builds")
+        reg.gauge_max("index.kmers", self.n_indexed_kmers)
+        reg.gauge_max("index.positions", self.n_indexed_positions)
+        reg.gauge_max("index.masked_kmers", self.n_masked_kmers)
+        reg.gauge_max("index.bytes", self.nbytes())
 
+    def _build(self) -> None:
+        reference, k = self.reference, self.k
+        max_positions_per_kmer = self.max_positions_per_kmer
         # Compact dtypes: genome positions and (for k <= 15) packed k-mers
         # fit int32, which halves the index footprint — the paper's hash
         # table is similarly position-dense.

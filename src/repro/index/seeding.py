@@ -18,6 +18,7 @@ from repro.genome.alphabet import reverse_complement
 from repro.genome.fastq import Read
 from repro.index.hashindex import GenomeIndex
 from repro.index.kmer import rolling_kmers
+from repro.observability import current as metrics
 
 
 @dataclass(frozen=True)
@@ -94,7 +95,11 @@ class Seeder:
         out.extend(self._one_strand(read.codes, strand=1))
         out.extend(self._one_strand(reverse_complement(read.codes), strand=-1))
         out.sort(key=lambda c: (-c.support, c.start, c.strand))
-        return out[: self.config.max_candidates]
+        out = out[: self.config.max_candidates]
+        reg = metrics()
+        reg.inc("seed.reads")
+        reg.inc("seed.candidates", len(out))
+        return out
 
     def _one_strand(self, codes: np.ndarray, strand: int) -> list[CandidateRegion]:
         k = self.index.k

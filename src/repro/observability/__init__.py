@@ -1,0 +1,50 @@
+"""Zero-dependency tracing/metrics subsystem.
+
+Instrumentation writes three kinds of data to the *current* registry:
+
+* **spans** — nested wall-clock regions (``with span("align"): ...``);
+* **counters** — monotonic sums (``current().inc("pipeline.reads", n)``);
+* **gauges** — high-water marks (``current().gauge_max("index.bytes", b)``).
+
+Snapshots are picklable and merge associatively, so partial results from
+``multiprocessing`` workers and simulated cluster ranks fold into one
+coherent tree.  See DESIGN.md ("Observability") for the counter naming
+scheme and the ``repro.metrics/v1`` JSON contract.
+"""
+
+from repro.observability.export import (
+    SCHEMA,
+    format_metrics_report,
+    read_metrics_json,
+    to_json,
+    to_json_dict,
+    write_metrics_json,
+)
+from repro.observability.registry import (
+    MetricsRegistry,
+    current,
+    global_registry,
+    scope,
+    use,
+)
+from repro.observability.snapshot import MetricsSnapshot, merge_snapshots
+from repro.observability.spans import current_path, detached, span
+
+__all__ = [
+    "SCHEMA",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "current",
+    "current_path",
+    "detached",
+    "format_metrics_report",
+    "global_registry",
+    "merge_snapshots",
+    "read_metrics_json",
+    "scope",
+    "span",
+    "to_json",
+    "to_json_dict",
+    "use",
+    "write_metrics_json",
+]

@@ -1,0 +1,100 @@
+"""Serialisation of metric snapshots: stable JSON and a human report.
+
+The JSON document is a stable, versioned contract (pinned by a golden-file
+test) so downstream tooling can rely on it::
+
+    {
+      "schema": "repro.metrics/v1",
+      "counters": {"pipeline.reads": 1000, ...},
+      "gauges": {"index.bytes": 524288, ...},
+      "spans": {
+        "map_reads": {
+          "seconds": 1.25, "count": 1,
+          "children": {"seed": {...}, "align": {...}, "accumulate": {...}}
+        }
+      },
+      "totals": {"span_seconds": 1.25}
+    }
+
+Counter values are written as-is (ints stay ints); span ``seconds`` are
+floats; keys are emitted sorted at every level.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.snapshot import MetricsSnapshot
+
+#: Version tag of the JSON document; bump on breaking layout changes.
+SCHEMA = "repro.metrics/v1"
+
+
+def _sorted_tree(tree: "dict[str, dict]") -> "dict[str, dict]":
+    return {
+        name: {
+            "seconds": tree[name]["seconds"],
+            "count": tree[name]["count"],
+            "children": _sorted_tree(tree[name]["children"]),
+        }
+        for name in sorted(tree)
+    }
+
+
+def to_json_dict(snapshot: MetricsSnapshot) -> dict:
+    """The schema'd plain-dict form of a snapshot."""
+    return {
+        "schema": SCHEMA,
+        "counters": {k: snapshot.counters[k] for k in sorted(snapshot.counters)},
+        "gauges": {k: snapshot.gauges[k] for k in sorted(snapshot.gauges)},
+        "spans": _sorted_tree(snapshot.spans),
+        "totals": {"span_seconds": snapshot.total_span_seconds()},
+    }
+
+
+def to_json(snapshot: MetricsSnapshot) -> str:
+    """Canonical JSON text (sorted keys, 2-space indent, trailing newline)."""
+    return json.dumps(to_json_dict(snapshot), indent=2, sort_keys=True) + "\n"
+
+
+def write_metrics_json(path: str, snapshot: MetricsSnapshot) -> None:
+    """Write the snapshot to ``path`` in the schema'd JSON form."""
+    with open(path, "w") as fh:
+        fh.write(to_json(snapshot))
+
+
+def read_metrics_json(path: str) -> MetricsSnapshot:
+    """Load a document written by :func:`write_metrics_json`."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return MetricsSnapshot.from_dict(data)
+
+
+def format_metrics_report(snapshot: MetricsSnapshot) -> str:
+    """Human-readable span tree + counters + gauges (CLI/bench output)."""
+    lines: list[str] = []
+
+    def walk(tree: "dict[str, dict]", depth: int) -> None:
+        for name in tree:
+            node = tree[name]
+            lines.append(
+                f"{'  ' * depth}{name:<{max(24 - 2 * depth, 1)}}"
+                f"{node['seconds']:10.4f}s  x{node['count']}"
+            )
+            walk(node["children"], depth + 1)
+
+    if snapshot.spans:
+        lines.append("spans:")
+        walk(snapshot.spans, 1)
+    if snapshot.counters:
+        lines.append("counters:")
+        width = max(len(k) for k in snapshot.counters)
+        for k in sorted(snapshot.counters):
+            v = snapshot.counters[k]
+            lines.append(f"  {k:<{width}}  {v:,}")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in snapshot.gauges)
+        for k in sorted(snapshot.gauges):
+            lines.append(f"  {k:<{width}}  {snapshot.gauges[k]:,}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

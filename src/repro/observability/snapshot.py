@@ -1,0 +1,156 @@
+"""Immutable, picklable metric snapshots and their merge algebra.
+
+A :class:`MetricsSnapshot` is the *value* half of the observability layer:
+plain nested dicts (so it pickles across ``multiprocessing`` workers and
+serialises to JSON without adapters) holding
+
+* ``counters`` — monotonic sums, merged by addition;
+* ``gauges`` — high-water marks, merged by maximum;
+* ``spans`` — a tree of timed regions, merged by recursive addition of
+  ``seconds`` and ``count`` and union of children.
+
+All three merge rules are associative and commutative with
+:meth:`MetricsSnapshot.empty` as the identity, so partial snapshots from any
+number of workers/ranks can be folded in any order and the parallel driver
+reports one coherent tree.  The unit tests pin associativity explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+#: Separator used by string span paths ("map_reads/align").
+PATH_SEP = "/"
+
+
+def _check_span_node(node: dict) -> None:
+    if not {"seconds", "count", "children"} <= set(node):
+        raise ObservabilityError(f"malformed span node: {sorted(node)}")
+
+
+def _merge_span_trees(a: "dict[str, dict]", b: "dict[str, dict]") -> "dict[str, dict]":
+    out: dict[str, dict] = {}
+    for name in list(a) + [n for n in b if n not in a]:
+        na, nb = a.get(name), b.get(name)
+        if na is None or nb is None:
+            src = na if na is not None else nb
+            out[name] = _copy_span_tree({name: src})[name]
+        else:
+            out[name] = {
+                "seconds": na["seconds"] + nb["seconds"],
+                "count": na["count"] + nb["count"],
+                "children": _merge_span_trees(na["children"], nb["children"]),
+            }
+    return out
+
+
+def _copy_span_tree(tree: "dict[str, dict]") -> "dict[str, dict]":
+    return {
+        name: {
+            "seconds": node["seconds"],
+            "count": node["count"],
+            "children": _copy_span_tree(node["children"]),
+        }
+        for name, node in tree.items()
+    }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen view of a registry's state at one instant."""
+
+    counters: "dict[str, float]" = field(default_factory=dict)
+    gauges: "dict[str, float]" = field(default_factory=dict)
+    spans: "dict[str, dict]" = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The merge identity."""
+        return cls()
+
+    # -- merge algebra -------------------------------------------------------
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Pure merge; ``self`` and ``other`` are left untouched."""
+        counters = dict(self.counters)
+        for k, v in other.counters.items():
+            counters[k] = counters.get(k, 0) + v
+        gauges = dict(self.gauges)
+        for k, v in other.gauges.items():
+            gauges[k] = max(gauges[k], v) if k in gauges else v
+        return MetricsSnapshot(
+            counters=counters,
+            gauges=gauges,
+            spans=_merge_span_trees(self.spans, other.spans),
+        )
+
+    # -- queries -------------------------------------------------------------
+    def span_node(self, path: str) -> "dict | None":
+        """Span node at ``"a/b/c"``, or None if absent."""
+        node = None
+        children = self.spans
+        for part in path.split(PATH_SEP):
+            node = children.get(part)
+            if node is None:
+                return None
+            children = node["children"]
+        return node
+
+    def span_seconds(self, path: str) -> float:
+        """Total seconds under the span at ``path`` (0.0 if absent)."""
+        node = self.span_node(path)
+        return 0.0 if node is None else float(node["seconds"])
+
+    def span_count(self, path: str) -> int:
+        node = self.span_node(path)
+        return 0 if node is None else int(node["count"])
+
+    def leaf_totals(self) -> "dict[str, tuple[float, int]]":
+        """Per-name ``(seconds, count)`` summed over every path position.
+
+        A name appearing at several depths (e.g. ``align`` under different
+        parents) is summed — this is the flattened stage view the legacy
+        :class:`~repro.util.timers.TimerRegistry` exposes.
+        """
+        totals: dict[str, tuple[float, int]] = {}
+
+        def walk(tree: dict) -> None:
+            for name, node in tree.items():
+                s, c = totals.get(name, (0.0, 0))
+                totals[name] = (s + node["seconds"], c + node["count"])
+                walk(node["children"])
+
+        walk(self.spans)
+        return totals
+
+    def total_span_seconds(self) -> float:
+        """Sum of the top-level spans (children are nested inside them)."""
+        return sum(node["seconds"] for node in self.spans.values())
+
+    # -- plain-dict codec (JSON, explicit pickling) --------------------------
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": _copy_span_tree(self.spans),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        spans = data.get("spans", {})
+        for node in spans.values():
+            _check_span_node(node)
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            spans=_copy_span_tree(spans),
+        )
+
+
+def merge_snapshots(*snaps: MetricsSnapshot) -> MetricsSnapshot:
+    """Fold any number of snapshots (associative; order-independent)."""
+    out = MetricsSnapshot.empty()
+    for snap in snaps:
+        out = out.merge(snap)
+    return out

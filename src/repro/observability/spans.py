@@ -1,0 +1,64 @@
+"""Nested timing spans.
+
+``with span("align"): ...`` times the block on the monotonic clock and
+accounts it to the *current* registry under the calling thread's span path
+("map_reads/align" when entered inside ``span("map_reads")``).  Spans are
+exception-safe: the time is recorded and the stack restored whether the
+block returns or raises.  Each thread has its own stack, so simulated
+cluster ranks (threads) build independent paths that merge in the shared
+registry tree.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import ObservabilityError
+from repro.observability.registry import current
+from repro.observability.snapshot import PATH_SEP
+
+_STACK = threading.local()
+
+
+def current_path() -> "tuple[str, ...]":
+    """The calling thread's open span path, outermost first."""
+    return tuple(getattr(_STACK, "path", ()))
+
+
+@contextmanager
+def detached():
+    """Run the block with an empty span stack.
+
+    Entry point for work that is a fresh logical unit regardless of how the
+    OS delivered it — e.g. forked pool workers inherit the parent's open
+    span path, which would silently nest their spans under whatever span the
+    parent held at fork time (spawned workers would not), making the tree
+    shape depend on the multiprocessing start method.
+    """
+    prev = current_path()
+    _STACK.path = ()
+    try:
+        yield
+    finally:
+        _STACK.path = prev
+
+
+@contextmanager
+def span(name: str):
+    """Time the block and account it to ``current()`` at the nested path."""
+    if not name or PATH_SEP in name:
+        raise ObservabilityError(
+            f"span name must be non-empty and not contain {PATH_SEP!r}, "
+            f"got {name!r}"
+        )
+    path = current_path() + (name,)
+    _STACK.path = path
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started
+        _STACK.path = path[:-1]
+        current().record_span(path, elapsed)

@@ -10,11 +10,12 @@ exception is re-raised — mirroring ``MPI_Abort`` semantics.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import CommError
+from repro.observability import current as metrics_current
+from repro.observability import scope, span, use
 from repro.parallel.comm import Comm, make_world
 from repro.parallel.costmodel import LogGPModel
 
@@ -66,25 +67,35 @@ class Cluster:
         results: list[Any] = [None] * self.n_ranks
         errors: list[tuple[int, BaseException]] = []
         lock = threading.Lock()
+        # Rank threads start with a fresh thread-local context; hand them the
+        # caller's registry so all ranks write one shared tree.
+        caller_registry = metrics_current()
 
         def runner(comm: Comm) -> None:
             try:
-                results[comm.rank] = program(comm, *args)
+                with use(caller_registry):
+                    results[comm.rank] = program(comm, *args)
             except BaseException as exc:  # noqa: BLE001 - must abort peers
                 with lock:
                     errors.append((comm.rank, exc))
                 shared.abort()
 
-        t0 = time.perf_counter()
-        threads = [
-            threading.Thread(target=runner, args=(comm,), name=f"rank-{comm.rank}")
-            for comm in world
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        wall = time.perf_counter() - t0
+        with scope() as reg:
+            with span("cluster_run"):
+                threads = [
+                    threading.Thread(
+                        target=runner, args=(comm,), name=f"rank-{comm.rank}"
+                    )
+                    for comm in world
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            reg.inc("cluster.runs")
+            reg.gauge_max("cluster.ranks", self.n_ranks)
+        # Wall time sourced from the span, not a private perf_counter pair.
+        wall = reg.snapshot().leaf_totals()["cluster_run"][0]
 
         if errors:
             # Aborting the world makes innocent ranks fail with secondary

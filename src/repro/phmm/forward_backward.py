@@ -44,6 +44,7 @@ import numpy as np
 from scipy.signal import lfilter
 
 from repro.errors import AlignmentError
+from repro.observability import current as metrics
 from repro.phmm.model import PHMMParams
 
 _MODES = ("semiglobal", "global")
@@ -131,6 +132,10 @@ def forward_batch(
     B, N, M = pstar.shape
     if N == 0 or M == 0:
         raise AlignmentError("empty read or window")
+    reg = metrics()
+    reg.inc("phmm.batches")
+    reg.inc("phmm.pairs", B)
+    reg.inc("phmm.forward_cells", B * N * M)
     q, TMM, TMG, TGM, TGG = params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG
 
     fM = np.zeros((B, N + 1, M + 1))
@@ -192,6 +197,7 @@ def backward_batch(
     B, N, M = pstar.shape
     if N == 0 or M == 0:
         raise AlignmentError("empty read or window")
+    metrics().inc("phmm.backward_cells", B * N * M)
     q, TMM, TMG, TGM, TGG = params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG
 
     bM = np.zeros((B, N + 1, M + 1))

@@ -7,11 +7,15 @@ racing each other for the single physical core.
 extracts per-unit costs; the parallel drivers then charge
 ``n_local_reads * seconds_per_seed + n_local_pairs * seconds_per_pair``
 (etc.) to each rank's clock.
+
+Timings come from the observability registry (scoped spans around the
+sample run), so calibration reads the *same* clock the pipeline charges —
+no parallel ``perf_counter`` bookkeeping that can drift from the stage
+spans it is supposed to mirror.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.errors import PipelineError
@@ -80,33 +84,31 @@ class ComputeCalibration:
         config=None,
     ) -> "ComputeCalibration":
         """Calibrate by timing one real serial run on a read sample."""
+        from repro.observability import scope
         from repro.pipeline.gnumap import GnumapSnp
-        from repro.util.timers import TimerRegistry
 
         if not reads:
             raise PipelineError("need at least one read to calibrate")
-        t0 = time.perf_counter()
-        pipe = GnumapSnp(reference, config)
-        t_index = time.perf_counter() - t0
+        with scope() as reg:
+            pipe = GnumapSnp(reference, config)
+        t_index = reg.snapshot().leaf_totals().get("index_build", (0.0, 0))[0]
 
         # First pass warms NumPy/SciPy dispatch caches; the timed second pass
         # is what we calibrate on.
         pipe.map_reads(reads)
-        timers = TimerRegistry()
-        acc, stats = pipe.map_reads(reads, timers=timers)
+        with scope() as reg:
+            acc, stats = pipe.map_reads(reads)
+            pipe.call_snps(acc)
+        stages = reg.snapshot().leaf_totals()
 
-        t1 = time.perf_counter()
-        pipe.call_snps(acc)
-        t_call = time.perf_counter() - t1
+        def seconds(name: str) -> float:
+            return stages.get(name, (0.0, 0))[0]
 
         n_pairs = max(stats.n_pairs, 1)
         return cls(
-            seconds_per_seed=timers["seed"].elapsed / max(stats.n_reads, 1),
-            seconds_per_pair=(
-                timers["align"].elapsed + timers["accumulate"].elapsed
-            )
-            / n_pairs,
+            seconds_per_seed=seconds("seed") / max(stats.n_reads, 1),
+            seconds_per_pair=(seconds("align") + seconds("accumulate")) / n_pairs,
             pairs_per_read=stats.n_pairs / max(stats.n_reads, 1),
             seconds_per_index_base=t_index / len(reference),
-            seconds_per_called_position=t_call / len(reference),
+            seconds_per_called_position=seconds("call") / len(reference),
         )

@@ -26,11 +26,25 @@ from repro.genome.reference import Reference
 from repro.index.hashindex import GenomeIndex
 from repro.index.seeding import Seeder
 from repro.memory.base import Accumulator, make_accumulator
+from repro.observability import scope, span
+from repro.observability.snapshot import MetricsSnapshot
 from repro.phmm.alignment import align_batch, build_windows
 from repro.phmm.pwm import flat_pwm, pwm_from_read, reverse_complement_pwm
 from repro.phmm.scoring import group_normalize
 from repro.pipeline.config import PipelineConfig
 from repro.util.timers import TimerRegistry
+
+#: Stage names the flat :class:`TimerRegistry` view mirrors from span data.
+STAGE_NAMES = ("index_build", "seed", "align", "accumulate", "call")
+
+
+def fill_timers(timers: TimerRegistry, snapshot: MetricsSnapshot) -> None:
+    """Mirror per-stage span totals into a legacy flat timer registry."""
+    totals = snapshot.leaf_totals()
+    for name in STAGE_NAMES:
+        if name in totals:
+            seconds, count = totals[name]
+            timers.account(name, seconds, entries=count)
 
 
 def _one_hot_best(logliks: np.ndarray, groups: np.ndarray) -> np.ndarray:
@@ -115,6 +129,8 @@ class GnumapSnp:
         """Align reads and accumulate evidence (steps A-C).
 
         Returns the (possibly supplied) accumulator and mapping counters.
+        A supplied ``timers`` registry is populated from the stage spans
+        after the fact (it is a view of the metrics, not a second clock).
         """
         cfg = self.config
         acc = accumulator if accumulator is not None else self.new_accumulator()
@@ -122,7 +138,6 @@ class GnumapSnp:
             raise PipelineError(
                 f"accumulator length {acc.length} != genome {len(self.reference)}"
             )
-        timers = timers if timers is not None else TimerRegistry()
         stats = MappingStats()
 
         batch_pwms: list[np.ndarray] = []
@@ -130,49 +145,61 @@ class GnumapSnp:
         batch_groups: list[int] = []
         read_len: int | None = None
 
-        def flush() -> None:
-            nonlocal batch_pwms, batch_starts, batch_groups
-            if not batch_pwms:
-                return
-            self._align_and_accumulate(
-                np.stack(batch_pwms),
-                np.asarray(batch_starts, dtype=np.int64),
-                np.asarray(batch_groups, dtype=np.int64),
-                acc,
-                timers,
-            )
-            stats.n_batches += 1
-            batch_pwms, batch_starts, batch_groups = [], [], []
+        with scope() as reg:
 
-        for ridx, read in enumerate(reads):
-            stats.n_reads += 1
-            with timers["seed"]:
-                candidates = self.seeder.candidates(read)
-            if not candidates:
-                stats.n_unmapped += 1
-                continue
-            stats.n_mapped += 1
-            stats.n_pairs += len(candidates)
-            if read_len is not None and len(read) != read_len:
+            def flush() -> None:
+                nonlocal batch_pwms, batch_starts, batch_groups
+                if not batch_pwms:
+                    return
+                self._align_and_accumulate(
+                    np.stack(batch_pwms),
+                    np.asarray(batch_starts, dtype=np.int64),
+                    np.asarray(batch_groups, dtype=np.int64),
+                    acc,
+                )
+                stats.n_batches += 1
+                reg.gauge_max("pipeline.peak_accumulator_bytes", acc.nbytes())
+                batch_pwms, batch_starts, batch_groups = [], [], []
+
+            with span("map_reads"):
+                for ridx, read in enumerate(reads):
+                    stats.n_reads += 1
+                    with span("seed"):
+                        candidates = self.seeder.candidates(read)
+                    if not candidates:
+                        stats.n_unmapped += 1
+                        continue
+                    stats.n_mapped += 1
+                    stats.n_pairs += len(candidates)
+                    if read_len is not None and len(read) != read_len:
+                        flush()
+                    read_len = len(read)
+                    pwm_fwd = (
+                        pwm_from_read(read)
+                        if cfg.quality_aware
+                        else flat_pwm(read.codes)
+                    )
+                    pwm_rc: np.ndarray | None = None
+                    for cand in candidates:
+                        if cand.strand == 1:
+                            pwm = pwm_fwd
+                        else:
+                            if pwm_rc is None:
+                                pwm_rc = reverse_complement_pwm(pwm_fwd)
+                            pwm = pwm_rc
+                        batch_pwms.append(pwm)
+                        batch_starts.append(cand.start)
+                        batch_groups.append(ridx)
+                    if len(batch_pwms) >= cfg.batch_size:
+                        flush()
                 flush()
-            read_len = len(read)
-            pwm_fwd = (
-                pwm_from_read(read) if cfg.quality_aware else flat_pwm(read.codes)
-            )
-            pwm_rc: np.ndarray | None = None
-            for cand in candidates:
-                if cand.strand == 1:
-                    pwm = pwm_fwd
-                else:
-                    if pwm_rc is None:
-                        pwm_rc = reverse_complement_pwm(pwm_fwd)
-                    pwm = pwm_rc
-                batch_pwms.append(pwm)
-                batch_starts.append(cand.start)
-                batch_groups.append(ridx)
-            if len(batch_pwms) >= cfg.batch_size:
-                flush()
-        flush()
+            reg.inc("pipeline.reads", stats.n_reads)
+            reg.inc("pipeline.reads_mapped", stats.n_mapped)
+            reg.inc("pipeline.reads_unmapped", stats.n_unmapped)
+            reg.inc("pipeline.pairs", stats.n_pairs)
+            reg.inc("pipeline.batches", stats.n_batches)
+            if timers is not None:
+                fill_timers(timers, reg.snapshot())
         return acc, stats
 
     def _align_and_accumulate(
@@ -181,12 +208,11 @@ class GnumapSnp:
         starts: np.ndarray,
         groups: np.ndarray,
         acc: Accumulator,
-        timers: TimerRegistry,
     ) -> None:
         cfg = self.config
         n = pwms.shape[1]
         width = n + 2 * cfg.pad
-        with timers["align"]:
+        with span("align"):
             windows, valid = build_windows(
                 self.reference.codes, starts - cfg.pad, width
             )
@@ -206,7 +232,7 @@ class GnumapSnp:
                 weights = group_normalize(
                     outcome.loglik, groups, min_ratio=cfg.min_ratio
                 )
-        with timers["accumulate"]:
+        with span("accumulate"):
             zw = z * weights[:, None, None]
             cols = (starts - cfg.pad)[:, None] + np.arange(width)[None, :]
             live = valid & (weights[:, None] > 0)
@@ -259,9 +285,14 @@ class GnumapSnp:
         self, accumulator: Accumulator, timers: TimerRegistry | None = None
     ) -> list[SNPCall]:
         """LRT over the accumulated evidence; returns SNP records."""
-        timers = timers if timers is not None else TimerRegistry()
-        with timers["call"]:
-            return self.caller.snps(accumulator.snapshot(), self.reference.codes)
+        with scope() as reg:
+            with span("call"):
+                snps = self.caller.snps(
+                    accumulator.snapshot(), self.reference.codes
+                )
+            if timers is not None:
+                fill_timers(timers, reg.snapshot())
+        return snps
 
     # -- end to end --------------------------------------------------------------
     def run(self, reads: "list[Read]") -> PipelineResult:

@@ -21,9 +21,11 @@ from repro.errors import PipelineError
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
 from repro.memory.base import make_accumulator
+from repro.observability import detached, merge_snapshots, scope, span
+from repro.observability.snapshot import MetricsSnapshot
 from repro.parallel.partition import partition_reads_contiguous, take
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult
+from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult, fill_timers
 from repro.util.timers import TimerRegistry
 
 # Module-level worker state (initialised per process by the pool initializer;
@@ -37,15 +39,21 @@ def _init_worker(ref_codes: np.ndarray, ref_name: str, config: PipelineConfig) -
     _WORKER["config"] = config
 
 
-def _map_chunk(payload: tuple) -> tuple[dict, dict]:
+def _map_chunk(payload: tuple) -> tuple[dict, dict, MetricsSnapshot]:
     codes_list, quals_list, names = payload
     pipe: GnumapSnp = _WORKER["pipe"]
     reads = [
         Read(name=n, codes=c, quals=q)
         for n, c, q in zip(names, codes_list, quals_list)
     ]
-    acc, stats = pipe.map_reads(reads)
-    return acc.to_buffers(), vars(stats)
+    # The scope isolates this chunk's metrics; the snapshot travels home by
+    # pickle and the parent folds all workers into one coherent tree.
+    # detached(): forked workers inherit the parent's open span path (spawned
+    # ones don't) — root the chunk's spans either way.
+    with detached(), scope() as reg:
+        acc, stats = pipe.map_reads(reads)
+        snapshot = reg.snapshot()
+    return acc.to_buffers(), vars(stats), snapshot
 
 
 def run_multiprocessing(
@@ -81,26 +89,36 @@ def run_multiprocessing(
         )
 
     ctx = mp.get_context("spawn" if mp.get_start_method(allow_none=True) is None else None)
-    with timers["map_parallel"]:
-        with ctx.Pool(
-            processes=n_workers,
-            initializer=_init_worker,
-            initargs=(np.asarray(reference.codes), reference.name, config),
-        ) as pool:
-            partials = pool.map(_map_chunk, chunks)
+    with scope() as reg:
+        with span("map_parallel"):
+            with ctx.Pool(
+                processes=n_workers,
+                initializer=_init_worker,
+                initargs=(np.asarray(reference.codes), reference.name, config),
+            ) as pool:
+                partials = pool.map(_map_chunk, chunks)
 
-    acc_type = type(pipe.new_accumulator())
-    merged = None
-    total = MappingStats()
-    for buffers, stats_dict in partials:
-        part_acc = acc_type.from_buffers(len(reference), buffers)
-        if merged is None:
-            merged = part_acc
-        else:
-            merged.merge(part_acc)
-        total.merge(MappingStats(**stats_dict))
+        acc_type = type(pipe.new_accumulator())
+        merged = None
+        total = MappingStats()
+        worker_snaps = []
+        for buffers, stats_dict, snapshot in partials:
+            part_acc = acc_type.from_buffers(len(reference), buffers)
+            if merged is None:
+                merged = part_acc
+            else:
+                merged.merge(part_acc)
+            total.merge(MappingStats(**stats_dict))
+            worker_snaps.append(snapshot)
+        # One associative fold, then one coherent tree in this process.
+        reg.absorb(merge_snapshots(*worker_snaps))
+        reg.gauge_max("mp.workers", n_workers)
 
-    if merged is None:  # no reads at all
-        merged = pipe.new_accumulator()
-    snps = pipe.call_snps(merged, timers=timers)
+        if merged is None:  # no reads at all
+            merged = pipe.new_accumulator()
+        snps = pipe.call_snps(merged)
+        snap = reg.snapshot()
+        fill_timers(timers, snap)
+        seconds, count = snap.leaf_totals()["map_parallel"]
+        timers.account("map_parallel", seconds, entries=count)
     return PipelineResult(snps=snps, accumulator=merged, stats=total, timers=timers)

@@ -33,6 +33,7 @@ from repro.genome.reference import Reference
 from repro.index.hashindex import GenomeIndex
 from repro.index.seeding import Seeder
 from repro.memory.base import make_accumulator
+from repro.observability import span
 from repro.parallel.comm import Comm
 from repro.parallel.partition import partition_reads_contiguous, take
 from repro.parallel.reduction import reduce_accumulator
@@ -72,7 +73,8 @@ def run_read_spread(
             calibration.mapping_seconds(stats.n_reads, stats.n_pairs)
         )
 
-    merged = reduce_accumulator(comm, acc, root=0)
+    with span("reduce"):
+        merged = reduce_accumulator(comm, acc, root=0)
     all_stats = comm.gather(stats, root=0)
 
     if comm.rank != 0:
@@ -135,7 +137,8 @@ def run_memory_spread(
             calibration,
         )
 
-    _halo_exchange(comm, acc, seg, ext_start, ext_stop, glen, halo, config)
+    with span("halo_exchange"):
+        _halo_exchange(comm, acc, seg, ext_start, ext_stop, glen, halo, config)
 
     # Per-segment calling on the core region, then gather to root.
     caller = SNPCaller(config.caller)
@@ -227,17 +230,19 @@ def run_hybrid(
         )
 
     # Genome state reduces within the group; only leaders keep going.
-    merged = reduce_accumulator(subcomm, acc, root=0)
+    with span("reduce"):
+        merged = reduce_accumulator(subcomm, acc, root=0)
     gathered_stats = comm.gather(stats, root=0)
 
     local_snps: "list[SNPCall] | None" = None
     if subcomm.rank == 0:
         left = (group - 1) * rpg if group > 0 else None
         right = (group + 1) * rpg if group < n_groups - 1 else None
-        _halo_exchange(
-            comm, merged, seg, ext_start, ext_stop, glen, halo, config,
-            left=left, right=right,
-        )
+        with span("halo_exchange"):
+            _halo_exchange(
+                comm, merged, seg, ext_start, ext_stop, glen, halo, config,
+                left=left, right=right,
+            )
         caller = SNPCaller(config.caller)
         core_lo = seg.start - ext_start
         core_hi = seg.stop - ext_start
@@ -350,12 +355,13 @@ def _process_read_batch(
             local_lse[g] = np.logaddexp(local_lse[g], ll)
             local_max[g] = max(local_max[g], ll)
     packed = np.stack([local_lse, local_max])
-    global_packed = comm.allreduce(
-        packed,
-        op=lambda a, b: np.stack(
-            [np.logaddexp(a[0], b[0]), np.maximum(a[1], b[1])]
-        ),
-    )
+    with span("allreduce_normalise"):
+        global_packed = comm.allreduce(
+            packed,
+            op=lambda a, b: np.stack(
+                [np.logaddexp(a[0], b[0]), np.maximum(a[1], b[1])]
+            ),
+        )
     global_lse, global_max = global_packed[0], global_packed[1]
 
     for b in range(len(batch)):

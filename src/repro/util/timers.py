@@ -3,6 +3,11 @@
 The pipeline reports a per-stage breakdown (index build, alignment, LRT,
 reduction).  Timers are explicit objects rather than decorators so that the
 parallel substrate can also *account* virtual time through the same interface.
+
+Since the observability subsystem landed (:mod:`repro.observability`), the
+pipeline measures itself with spans and *populates* these registries via
+:meth:`TimerRegistry.account` — the flat stage view is kept as a stable,
+cheap reporting surface, but the span tree is the source of truth.
 """
 
 from __future__ import annotations
@@ -61,6 +66,14 @@ class TimerRegistry:
 
     def __iter__(self):
         return iter(self._timers.values())
+
+    def account(self, name: str, seconds: float, entries: int = 1) -> None:
+        """Fold externally measured time (e.g. an observability span) in."""
+        if seconds < 0:
+            raise ValueError("cannot account negative time")
+        timer = self[name]
+        timer.elapsed += seconds
+        timer.entries += entries
 
     def total(self) -> float:
         """Sum of elapsed seconds over all stages."""

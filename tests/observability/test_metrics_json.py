@@ -1,0 +1,71 @@
+"""Golden-file regression test for the ``repro.metrics/v1`` JSON schema.
+
+Downstream tooling parses ``--metrics-json`` output; this test pins the
+exact document layout (key order, nesting, totals) for a synthetic,
+fully deterministic snapshot.  If you change the schema intentionally,
+bump :data:`repro.observability.export.SCHEMA` and regenerate the golden
+file (instructions in the assertion message).
+"""
+
+import json
+import pathlib
+
+from repro.observability import (
+    SCHEMA,
+    MetricsRegistry,
+    read_metrics_json,
+    to_json,
+    to_json_dict,
+    write_metrics_json,
+)
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "data" / "metrics_golden.json"
+
+
+def build_reference_snapshot():
+    """A deterministic snapshot shaped like a real pipeline run."""
+    reg = MetricsRegistry()
+    reg.inc("pipeline.reads", 1000)
+    reg.inc("pipeline.reads_mapped", 990)
+    reg.inc("pipeline.pairs", 1503)
+    reg.inc("phmm.forward_cells", 6012000)
+    reg.inc("caller.snps", 12)
+    reg.gauge_max("index.bytes", 524288)
+    reg.gauge_max("pipeline.peak_accumulator_bytes", 200000)
+    reg.record_span(("index_build",), 0.125)
+    reg.record_span(("map_reads",), 2.5)
+    reg.record_span(("map_reads", "seed"), 0.5, count=1000)
+    reg.record_span(("map_reads", "align"), 1.75, count=4)
+    reg.record_span(("map_reads", "accumulate"), 0.25, count=4)
+    reg.record_span(("call",), 0.0625)
+    return reg.snapshot()
+
+
+class TestMetricsJsonSchema:
+    def test_matches_golden_file(self):
+        got = to_json(build_reference_snapshot())
+        want = GOLDEN.read_text()
+        assert got == want, (
+            "metrics JSON schema drifted from tests/data/metrics_golden.json; "
+            "if intentional, bump SCHEMA and regenerate the golden file by "
+            "writing to_json(build_reference_snapshot()) to it"
+        )
+
+    def test_schema_tag_and_sections(self):
+        doc = to_json_dict(build_reference_snapshot())
+        assert doc["schema"] == SCHEMA == "repro.metrics/v1"
+        assert set(doc) == {"schema", "counters", "gauges", "spans", "totals"}
+        assert doc["totals"]["span_seconds"] == 0.125 + 2.5 + 0.0625
+        seed = doc["spans"]["map_reads"]["children"]["seed"]
+        assert set(seed) == {"seconds", "count", "children"}
+
+    def test_counters_stay_integers_in_json(self):
+        doc = json.loads(to_json(build_reference_snapshot()))
+        assert doc["counters"]["pipeline.reads"] == 1000
+        assert isinstance(doc["counters"]["pipeline.reads"], int)
+
+    def test_file_roundtrip(self, tmp_path):
+        snap = build_reference_snapshot()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), snap)
+        assert read_metrics_json(str(path)) == snap

@@ -1,0 +1,141 @@
+"""Registry semantics: counter atomicity, gauges, scopes, absorb."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    MetricsRegistry,
+    current,
+    global_registry,
+    scope,
+    use,
+)
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.inc("x", 4)
+        assert reg.snapshot().counters["x"] == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.inc("x", -1)
+
+    def test_atomicity_under_threads(self):
+        reg = MetricsRegistry()
+        n_threads, n_incs = 8, 5000
+
+        def hammer():
+            for _ in range(n_incs):
+                reg.inc("hits")
+                reg.gauge_max("high", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot().counters["hits"] == n_threads * n_incs
+
+    def test_atomicity_through_parent_tee(self):
+        parent = MetricsRegistry()
+        children = [MetricsRegistry(parent=parent) for _ in range(4)]
+
+        def hammer(child):
+            for _ in range(2000):
+                child.inc("hits")
+
+        threads = [threading.Thread(target=hammer, args=(c,)) for c in children]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert parent.snapshot().counters["hits"] == 8000
+        for c in children:
+            assert c.snapshot().counters["hits"] == 2000
+
+
+class TestGauges:
+    def test_gauge_max_keeps_high_water_mark(self):
+        reg = MetricsRegistry()
+        reg.gauge_max("peak", 10)
+        reg.gauge_max("peak", 3)
+        reg.gauge_max("peak", 25)
+        assert reg.snapshot().gauges["peak"] == 25
+
+
+class TestScopes:
+    def test_scope_tees_to_enclosing_registry(self):
+        outer = MetricsRegistry()
+        with use(outer):
+            with scope() as inner:
+                inner_current = current()
+                inner.inc("n", 2)
+                inner.record_span(("stage",), 0.5)
+            assert current() is outer
+        assert inner_current is inner
+        assert outer.snapshot().counters["n"] == 2
+        assert outer.snapshot().span_seconds("stage") == 0.5
+        assert inner.snapshot().counters["n"] == 2
+
+    def test_nested_scopes_chain(self):
+        root = MetricsRegistry()
+        with use(root), scope() as a, scope() as b:
+            b.inc("n")
+        for reg in (root, a, b):
+            assert reg.snapshot().counters["n"] == 1
+
+    def test_scope_isolates_sibling_measurements(self):
+        root = MetricsRegistry()
+        with use(root):
+            with scope() as first:
+                current().inc("n")
+            with scope() as second:
+                current().inc("n", 9)
+        assert first.snapshot().counters["n"] == 1
+        assert second.snapshot().counters["n"] == 9
+        assert root.snapshot().counters["n"] == 10
+
+    def test_default_registry_is_global(self):
+        assert current() is global_registry()
+
+
+class TestAbsorbAndClear:
+    def test_absorb_folds_a_snapshot_in(self):
+        src = MetricsRegistry()
+        src.inc("reads", 10)
+        src.gauge_max("peak", 7)
+        src.record_span(("map", "seed"), 1.0, count=3)
+        dst = MetricsRegistry()
+        dst.inc("reads", 5)
+        dst.gauge_max("peak", 9)
+        dst.absorb(src.snapshot())
+        snap = dst.snapshot()
+        assert snap.counters["reads"] == 15
+        assert snap.gauges["peak"] == 9
+        assert snap.span_seconds("map/seed") == 1.0
+        assert snap.span_count("map/seed") == 3
+        assert snap.span_count("map") == 0  # ancestor created, not yet timed
+
+    def test_snapshot_is_picklable_and_detached(self):
+        reg = MetricsRegistry()
+        reg.record_span(("a", "b"), 0.25)
+        snap = reg.snapshot()
+        reg.record_span(("a", "b"), 0.25)  # must not mutate the snapshot
+        assert snap.span_seconds("a/b") == 0.25
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.record_span(("s",), 0.1)
+        reg.clear()
+        snap = reg.snapshot()
+        assert snap.counters == {} and snap.spans == {} and snap.gauges == {}

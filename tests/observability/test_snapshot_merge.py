@@ -1,0 +1,99 @@
+"""Merge algebra of snapshots: associativity, identity, commutativity.
+
+Associativity is what lets the parallel drivers fold worker snapshots in
+whatever order chunks complete; it is pinned here over randomly generated
+snapshots, not just hand-picked cases.
+"""
+
+import random
+
+from repro.observability import MetricsRegistry, MetricsSnapshot, merge_snapshots
+
+
+def random_snapshot(rng: random.Random) -> MetricsSnapshot:
+    reg = MetricsRegistry()
+    names = ["reads", "pairs", "cells", "batches"]
+    for _ in range(rng.randint(0, 6)):
+        reg.inc(rng.choice(names), rng.randint(0, 100))
+    for _ in range(rng.randint(0, 4)):
+        reg.gauge_max(rng.choice(["peak", "bytes"]), rng.randint(0, 1000))
+    stages = ["map", "seed", "align", "accumulate", "call"]
+    for _ in range(rng.randint(0, 8)):
+        depth = rng.randint(1, 3)
+        path = tuple(rng.choice(stages) for _ in range(depth))
+        # Values chosen as exact binary fractions so float addition is
+        # associative and trees can be compared with ==.
+        reg.record_span(path, rng.randint(0, 64) / 16.0, count=rng.randint(1, 4))
+    return reg.snapshot()
+
+
+class TestMergeAlgebra:
+    def test_associativity_randomised(self):
+        rng = random.Random(2012)
+        for _ in range(50):
+            a, b, c = (random_snapshot(rng) for _ in range(3))
+            left = a.merge(b).merge(c)
+            right = a.merge(b.merge(c))
+            assert left == right
+
+    def test_commutativity_randomised(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            a, b = random_snapshot(rng), random_snapshot(rng)
+            assert a.merge(b) == b.merge(a)
+
+    def test_empty_is_identity(self):
+        rng = random.Random(7)
+        a = random_snapshot(rng)
+        empty = MetricsSnapshot.empty()
+        assert a.merge(empty) == a
+        assert empty.merge(a) == a
+
+    def test_merge_is_pure(self):
+        rng = random.Random(3)
+        a, b = random_snapshot(rng), random_snapshot(rng)
+        a_before, b_before = a.as_dict(), b.as_dict()
+        a.merge(b)
+        assert a.as_dict() == a_before
+        assert b.as_dict() == b_before
+
+    def test_merge_snapshots_varargs(self):
+        rng = random.Random(9)
+        parts = [random_snapshot(rng) for _ in range(5)]
+        folded = merge_snapshots(*parts)
+        manual = MetricsSnapshot.empty()
+        for p in parts:
+            manual = manual.merge(p)
+        assert folded == manual
+        assert merge_snapshots() == MetricsSnapshot.empty()
+
+
+class TestMergeSemantics:
+    def test_counters_add_gauges_max_spans_add(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.inc("n", 3)
+        rb.inc("n", 4)
+        ra.gauge_max("peak", 10)
+        rb.gauge_max("peak", 8)
+        ra.record_span(("map", "seed"), 1.0, count=2)
+        rb.record_span(("map", "seed"), 0.5, count=1)
+        rb.record_span(("call",), 0.25)
+        merged = ra.snapshot().merge(rb.snapshot())
+        assert merged.counters["n"] == 7
+        assert merged.gauges["peak"] == 10
+        assert merged.span_seconds("map/seed") == 1.5
+        assert merged.span_count("map/seed") == 3
+        assert merged.span_seconds("call") == 0.25
+
+    def test_roundtrip_dict_codec(self):
+        rng = random.Random(11)
+        snap = random_snapshot(rng)
+        assert MetricsSnapshot.from_dict(snap.as_dict()) == snap
+
+    def test_leaf_totals_flattens_across_depths(self):
+        reg = MetricsRegistry()
+        reg.record_span(("run", "align"), 1.0)
+        reg.record_span(("align",), 0.5, count=2)
+        totals = reg.snapshot().leaf_totals()
+        assert totals["align"] == (1.5, 3)
+        assert totals["run"] == (0.0, 0)

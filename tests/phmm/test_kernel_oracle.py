@@ -1,0 +1,194 @@
+"""Batched kernels vs the naive single-pair oracles, matrix by matrix.
+
+:mod:`tests.phmm.test_properties` pins likelihoods for single pairs; this
+module pins the *batched* kernels (the pipeline's actual hot path) against
+:mod:`repro.phmm.reference_impl` cell-for-cell: every pair in a B > 1 batch
+must reproduce the naive unscaled forward/backward matrices after undoing
+the per-row scaling (``f * exp(log_scale)``), in both boundary modes,
+including the degenerate shapes N = 1, M = 1 and the empty batch B = 0.
+The metrics counters are asserted alongside, tying the observability layer
+to the same B*N*M geometry the numerics are verified over.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError
+from repro.observability import scope
+from repro.phmm.alignment import align_batch
+from repro.phmm.forward_backward import (
+    backward_batch,
+    emissions_batch,
+    forward_batch,
+)
+from repro.phmm.model import PHMMParams
+from repro.phmm.pwm import pwm_from_codes
+from repro.phmm.reference_impl import (
+    backward_naive,
+    emissions_naive,
+    forward_naive,
+)
+
+MODES = ("semiglobal", "global")
+
+
+@st.composite
+def batch_case(draw, b_max=4, n_max=6, m_max=7):
+    """A batch of B same-shape (pwm, window) pairs with varied qualities.
+
+    min_value=1 for N and M still exercises the degenerate single-row /
+    single-column DPs; B starts at 2 so every example is a *real* batch
+    (B = 0 and B = 1 have dedicated tests below).
+    """
+    B = draw(st.integers(min_value=2, max_value=b_max))
+    N = draw(st.integers(min_value=1, max_value=n_max))
+    M = draw(st.integers(min_value=1, max_value=m_max))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    pwms = np.stack(
+        [
+            pwm_from_codes(
+                rng.integers(0, 4, N).astype(np.uint8),
+                rng.uniform(0.0, 0.74, N),
+            )
+            for _ in range(B)
+        ]
+    )
+    windows = rng.integers(0, 5, (B, M)).astype(np.uint8)
+    return pwms, windows
+
+
+@st.composite
+def params_strategy(draw):
+    gap_open = draw(st.floats(min_value=0.005, max_value=0.2))
+    gap_extend = draw(st.floats(min_value=0.05, max_value=0.9))
+    return PHMMParams(gap_open=gap_open, gap_extend=gap_extend)
+
+
+def unscale(scaled: np.ndarray, log_scale: np.ndarray) -> np.ndarray:
+    """Undo per-row scaling: true value is ``scaled[b,i,j] e^{ls[b,i]}``."""
+    return scaled * np.exp(log_scale)[:, :, None]
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_forward_matrices_match_naive_per_pair(case, params, mode):
+    pwms, windows = case
+    B, N, M = pwms.shape[0], pwms.shape[1], windows.shape[1]
+    with scope() as reg:
+        pstar = emissions_batch(pwms, windows, params)
+        fwd = forward_batch(pstar, params, mode=mode)
+    snap = reg.snapshot()
+    assert snap.counters["phmm.pairs"] == B
+    assert snap.counters["phmm.forward_cells"] == B * N * M
+
+    fM = unscale(fwd.fM, fwd.log_scale)
+    fGX = unscale(fwd.fGX, fwd.log_scale)
+    fGY = unscale(fwd.fGY, fwd.log_scale)
+    for b in range(B):
+        nM, nGX, nGY, like = forward_naive(pstar[b], params, mode=mode)
+        np.testing.assert_allclose(fM[b], nM, rtol=1e-9, atol=1e-300)
+        np.testing.assert_allclose(fGX[b], nGX, rtol=1e-9, atol=1e-300)
+        np.testing.assert_allclose(fGY[b], nGY, rtol=1e-9, atol=1e-300)
+        if like > 0:
+            assert np.isclose(fwd.loglik[b], np.log(like), rtol=1e-9)
+        else:
+            assert fwd.loglik[b] == -np.inf
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_backward_matrices_match_naive_per_pair(case, params, mode):
+    pwms, windows = case
+    B, N, M = pwms.shape[0], pwms.shape[1], windows.shape[1]
+    with scope() as reg:
+        pstar = emissions_batch(pwms, windows, params)
+        bwd = backward_batch(pstar, params, mode=mode)
+    assert reg.snapshot().counters["phmm.backward_cells"] == B * N * M
+
+    bM = unscale(bwd.bM, bwd.log_scale)
+    bGX = unscale(bwd.bGX, bwd.log_scale)
+    bGY = unscale(bwd.bGY, bwd.log_scale)
+    for b in range(B):
+        nM, nGX, nGY = backward_naive(pstar[b], params, mode=mode)
+        np.testing.assert_allclose(bM[b], nM, rtol=1e-9, atol=1e-300)
+        np.testing.assert_allclose(bGX[b], nGX, rtol=1e-9, atol=1e-300)
+        np.testing.assert_allclose(bGY[b], nGY, rtol=1e-9, atol=1e-300)
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=batch_case(b_max=3, n_max=5, m_max=5))
+def test_emissions_match_naive_per_pair(case):
+    pwms, windows = case
+    params = PHMMParams()
+    pstar = emissions_batch(pwms, windows, params)
+    for b in range(pwms.shape[0]):
+        np.testing.assert_allclose(
+            pstar[b], emissions_naive(pwms[b], windows[b], params), rtol=1e-12
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_batching_is_not_load_bearing(case, params, mode):
+    """Each pair's result is identical whether aligned in a batch or alone."""
+    pwms, windows = case
+    pstar = emissions_batch(pwms, windows, params)
+    batched = forward_batch(pstar, params, mode=mode)
+    for b in range(pwms.shape[0]):
+        solo = forward_batch(pstar[b : b + 1], params, mode=mode)
+        np.testing.assert_array_equal(batched.fM[b], solo.fM[0])
+        np.testing.assert_array_equal(batched.log_scale[b], solo.log_scale[0])
+        np.testing.assert_array_equal(batched.loglik[b], solo.loglik[0])
+
+
+class TestDegenerateShapes:
+    def test_empty_batch_forward_backward(self):
+        params = PHMMParams()
+        pstar = np.zeros((0, 3, 5))
+        fwd = forward_batch(pstar, params)
+        bwd = backward_batch(pstar, params)
+        assert fwd.fM.shape == fwd.fGX.shape == fwd.fGY.shape == (0, 4, 6)
+        assert fwd.loglik.shape == (0,)
+        assert bwd.bM.shape == (0, 4, 6)
+
+    def test_empty_batch_align(self):
+        params = PHMMParams()
+        pwms = np.zeros((0, 3, 4))
+        windows = np.zeros((0, 5), dtype=np.uint8)
+        outcome = align_batch(pwms, windows, params)
+        assert outcome.z.shape == (0, 5, 5)
+        assert outcome.loglik.shape == (0,)
+
+    def test_empty_batch_counts_zero_cells(self):
+        with scope() as reg:
+            forward_batch(np.zeros((0, 3, 5)), PHMMParams())
+        snap = reg.snapshot()
+        assert snap.counters["phmm.pairs"] == 0
+        assert snap.counters["phmm.forward_cells"] == 0
+        assert snap.counters["phmm.batches"] == 1
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_single_cell_problem_matches_naive(self, mode):
+        """N = M = 1: one match cell; the smallest non-trivial DP."""
+        params = PHMMParams()
+        rng = np.random.default_rng(5)
+        pwms = np.stack(
+            [pwm_from_codes(np.array([c], dtype=np.uint8), np.array([0.1]))
+             for c in range(3)]
+        )
+        windows = rng.integers(0, 5, (3, 1)).astype(np.uint8)
+        pstar = emissions_batch(pwms, windows, params)
+        fwd = forward_batch(pstar, params, mode=mode)
+        for b in range(3):
+            *_, like = forward_naive(pstar[b], params, mode=mode)
+            assert np.isclose(np.exp(fwd.loglik[b]), like, rtol=1e-9)
+
+    @pytest.mark.parametrize("bad", [(2, 0, 5), (2, 5, 0)])
+    def test_zero_length_read_or_window_rejected(self, bad):
+        with pytest.raises(AlignmentError):
+            forward_batch(np.zeros(bad), PHMMParams())
+        with pytest.raises(AlignmentError):
+            backward_batch(np.zeros(bad), PHMMParams())
