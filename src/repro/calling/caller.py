@@ -18,7 +18,7 @@ well above it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.calling.records import BaseCall, SNPCall
 from repro.errors import CallingError
 from repro.genome.alphabet import GAP, N
 from repro.observability import current as metrics
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.genome.regions import RegionSet
 
 
 @dataclass
@@ -182,7 +185,7 @@ class SNPCaller:
         z: np.ndarray,
         reference_codes: np.ndarray,
         positions: np.ndarray | None = None,
-        regions=None,
+        regions: "RegionSet | None" = None,
     ) -> list[SNPCall]:
         """Significant calls that differ from the reference.
 

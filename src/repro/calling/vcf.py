@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, TextIO
 
-from repro.calling.records import SNPCall
+from repro.calling.records import BaseCall, SNPCall
 from repro.errors import CallingError
 from repro.genome.alphabet import CODE_TO_CHAR, GAP
 
@@ -42,7 +42,7 @@ class VcfRecord:
     genotype: str
 
 
-def _genotype_string(call, ref_base: int) -> str:
+def _genotype_string(call: BaseCall, ref_base: int) -> str:
     """Diploid-style GT: 1/1 hom-alt, 0/1 het with ref, 1/2 het alt/alt."""
     genotype = call.genotype
     if len(genotype) == 1:

@@ -191,6 +191,16 @@ def _add_metrics_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime numerical sanitizer (NaN/Inf/negative-mass/"
+        "normalisation checks in the PHMM kernels and accumulators; "
+        "equivalent to REPRO_SANITIZE=1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="map reads across this many processes")
     p_call.add_argument("-v", "--verbose", action="store_true")
     _add_metrics_arg(p_call)
+    _add_sanitize_arg(p_call)
     p_call.set_defaults(func=_cmd_call)
 
     p_map = sub.add_parser("map", help="align reads, write SAM")
@@ -237,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--k", type=int, default=10)
     p_map.add_argument("--max-secondary", type=int, default=4)
     _add_metrics_arg(p_map)
+    _add_sanitize_arg(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_eval = sub.add_parser("evaluate", help="score calls against truth")
@@ -251,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["tiny", "small", "bench", "large"])
     p_exp.add_argument("--seed", type=int, default=2012)
     _add_metrics_arg(p_exp)
+    _add_sanitize_arg(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     return parser
@@ -259,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sanitize", False):
+        from repro.phmm import sanitize
+
+        sanitize.enable()
     try:
         rc = args.func(args)
     except ReproError as exc:

@@ -71,3 +71,19 @@ class ConfigError(ReproError):
 
 class ObservabilityError(ReproError):
     """Metrics / tracing misuse (bad span name, negative counter delta, ...)."""
+
+
+class SanitizerError(ReproError):
+    """A numerical invariant tripped under ``REPRO_SANITIZE`` debug mode.
+
+    Carries the failed check's name, a human-readable detail string, and the
+    open observability span path at the moment of failure so the defect can
+    be located in the pipeline stage tree.
+    """
+
+    def __init__(self, check: str, detail: str, span_path: "tuple[str, ...]" = ()) -> None:
+        self.check = check
+        self.detail = detail
+        self.span_path = tuple(span_path)
+        where = "/".join(self.span_path) if self.span_path else "<no open span>"
+        super().__init__(f"sanitizer check {check!r} failed at span {where}: {detail}")

@@ -73,7 +73,7 @@ def compare_to_truth(
     return ConfusionCounts(tp=tp, fp=fp, fn=fn)
 
 
-def _allele_matches(record, alt: int) -> bool:
+def _allele_matches(record: object, alt: int) -> bool:
     alt_base = getattr(record, "alt_base", None)
     if alt_base is not None:
         return int(alt_base) == alt

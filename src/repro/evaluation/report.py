@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ReproError
 from repro.evaluation.metrics import compare_to_truth
 from repro.genome.variants import VariantCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.genome.reference import Reference
+    from repro.pipeline.gnumap import PipelineResult
 
 
 def _coverage_histogram(depth: np.ndarray, n_bins: int = 10, width: int = 40) -> str:
@@ -34,8 +40,8 @@ def _coverage_histogram(depth: np.ndarray, n_bins: int = 10, width: int = 40) ->
 
 
 def run_report(
-    result,
-    reference,
+    result: "PipelineResult",
+    reference: "Reference",
     truth: "VariantCatalog | None" = None,
     title: str = "GNUMAP-SNP run report",
     max_snp_rows: int = 50,

@@ -19,6 +19,7 @@ regions (the workload plants diverged repeats to create multireads).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.baselines.maq import MaqLikeCaller
 from repro.baselines.pileup import PileupCaller
@@ -47,7 +48,7 @@ class AblationRow:
         ]
 
 
-def _score(wl: Workload, snps) -> tuple[ConfusionCounts, int]:
+def _score(wl: Workload, snps: "Sequence[Any]") -> tuple[ConfusionCounts, int]:
     counts = compare_to_truth(snps, wl.catalog)
     artifacts = set(wl.systematic_positions)
     fp_art = sum(1 for s in snps if getattr(s, "pos") in artifacts)

@@ -15,6 +15,7 @@ sequences/second computed from the makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.experiments.workload import Workload, build_workload
@@ -24,6 +25,12 @@ from repro.pipeline.calibration import ComputeCalibration
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.parallel_driver import run_memory_spread, run_read_spread
 from repro.util.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.genome.fastq import Read
+    from repro.genome.reference import Reference
+    from repro.parallel.comm import Comm
+    from repro.pipeline.parallel_driver import ParallelRunResult
 
 DEFAULT_RANKS = (1, 2, 4, 8, 16, 32)
 
@@ -75,7 +82,13 @@ def run(
     if include_hybrid:
         from repro.pipeline.parallel_driver import run_hybrid
 
-        def hybrid_program(comm, reference, reads, cfg, calib):
+        def hybrid_program(
+            comm: "Comm",
+            reference: "Reference",
+            reads: "list[Read] | None",
+            cfg: "PipelineConfig | None",
+            calib: "ComputeCalibration | None",
+        ) -> "ParallelRunResult":
             return run_hybrid(comm, reference, reads, cfg, calib, hybrid_groups)
 
         modes.append((f"hybrid (G={hybrid_groups})", hybrid_program))

@@ -18,7 +18,7 @@ from repro.errors import FastaError
 from repro.genome.alphabet import decode, encode
 
 
-def _open_text(path_or_file: "str | Path | TextIO", mode: str):
+def _open_text(path_or_file: "str | Path | TextIO", mode: str) -> "tuple[TextIO, bool]":
     if isinstance(path_or_file, (str, Path)):
         return open(path_or_file, mode), True
     return path_or_file, False

@@ -70,7 +70,7 @@ class Reference:
     def __len__(self) -> int:
         return int(self._codes.size)
 
-    def __getitem__(self, idx) -> np.ndarray:
+    def __getitem__(self, idx: "int | slice | np.ndarray") -> np.ndarray:
         return self._codes[idx]
 
     @property

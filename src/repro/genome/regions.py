@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence, TextIO
+from typing import Iterable, Iterator, Sequence, TextIO
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class RegionSet:
     def __len__(self) -> int:
         return len(self._regions)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Region]":
         return iter(self._regions)
 
     def __contains__(self, pos: int) -> bool:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence, TextIO
+from typing import Iterable, Iterator, Sequence, TextIO
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class VariantCatalog:
     def __len__(self) -> int:
         return len(self._variants)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Variant]":
         return iter(self._variants)
 
     def __contains__(self, pos: int) -> bool:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import TYPE_CHECKING, Iterable, TextIO
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.phmm.forward_backward import emissions_batch
 from repro.phmm.pwm import flat_pwm, pwm_from_read, reverse_complement_pwm
 from repro.phmm.scoring import normalize_location_weights
 from repro.phmm.viterbi import viterbi_align
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.pipeline.gnumap import GnumapSnp
 
 
 @dataclass(frozen=True)
@@ -86,7 +89,7 @@ def _cigar_from_pairs(pairs: "list[tuple[int, int]]", read_len: int) -> str:
 
 
 def collect_placements(
-    pipeline,
+    pipeline: "GnumapSnp",
     reads: "Iterable[Read]",
     max_secondary: int = 4,
 ) -> list[Placement]:

@@ -20,10 +20,12 @@ memory-spread mode).  The contract:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
 from repro.errors import AccumulatorError
+from repro.phmm import sanitize
 
 
 class Accumulator(ABC):
@@ -50,6 +52,8 @@ class Accumulator(ABC):
             raise AccumulatorError("positions out of range")
         if (z < -1e-12).any():
             raise AccumulatorError("z contributions must be non-negative")
+        if sanitize.enabled():
+            sanitize.check_accumulator(z, where="accumulator.add")
         return positions, np.maximum(z, 0.0)
 
     @abstractmethod
@@ -92,7 +96,7 @@ class Accumulator(ABC):
         return self.snapshot().sum(axis=1)
 
 
-def make_accumulator(name: str, length: int, **kwargs) -> Accumulator:
+def make_accumulator(name: str, length: int, **kwargs: Any) -> Accumulator:
     """Factory over the memory modes.
 
     ``NORM``, ``CHARDISC`` and ``CENTDISC`` are the paper's three modes

@@ -28,8 +28,13 @@ test.  See EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import AccumulatorError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.index.hashindex import GenomeIndex
+    from repro.memory.base import Accumulator
 
 #: Accumulator modes in the paper's presentation order.
 OPTIMIZATIONS: tuple[str, ...] = ("NORM", "CHARDISC", "CENTDISC")
@@ -92,7 +97,11 @@ class FootprintModel:
         return self.total_gb(optimization, genome_length) / n_ranks
 
     @staticmethod
-    def measure(accumulator, index=None, genome_length: int | None = None) -> dict:
+    def measure(
+        accumulator: "Accumulator",
+        index: "GenomeIndex | None" = None,
+        genome_length: "int | None" = None,
+    ) -> "dict[str, float]":
         """Measured live-buffer bytes for real objects (scaled runs).
 
         Returns a dict with ``accumulator_bytes``, optional ``index_bytes``

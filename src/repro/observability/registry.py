@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Iterator
 
 from repro.errors import ObservabilityError
 from repro.observability.snapshot import (
@@ -141,7 +142,7 @@ def current() -> MetricsRegistry:
 
 
 @contextmanager
-def use(registry: MetricsRegistry):
+def use(registry: MetricsRegistry) -> "Iterator[MetricsRegistry]":
     """Make ``registry`` the current one for this thread inside the block.
 
     Also the hand-off mechanism into worker threads: capture ``current()``
@@ -156,7 +157,7 @@ def use(registry: MetricsRegistry):
 
 
 @contextmanager
-def scope():
+def scope() -> "Iterator[MetricsRegistry]":
     """A child registry teeing to the current one.
 
     ``with scope() as reg: ...`` lets the block read its own isolated

@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from typing import Iterator
 
 from repro.errors import ObservabilityError
 from repro.observability.registry import current
@@ -28,7 +29,7 @@ def current_path() -> "tuple[str, ...]":
 
 
 @contextmanager
-def detached():
+def detached() -> "Iterator[None]":
     """Run the block with an empty span stack.
 
     Entry point for work that is a fresh logical unit regardless of how the
@@ -46,7 +47,7 @@ def detached():
 
 
 @contextmanager
-def span(name: str):
+def span(name: str) -> "Iterator[None]":
     """Time the block and account it to ``current()`` at the nested path."""
     if not name or PATH_SEP in name:
         raise ObservabilityError(

@@ -75,7 +75,9 @@ class Cluster:
             try:
                 with use(caller_registry):
                     results[comm.rank] = program(comm, *args)
-            except BaseException as exc:  # noqa: BLE001 - must abort peers
+            # Sanctioned boundary: a failing rank must abort the world no
+            # matter what it raised; the root cause is re-raised as CommError.
+            except BaseException as exc:  # noqa: BLE001  # replint: disable=RPL401
                 with lock:
                     errors.append((comm.rank, exc))
                 shared.abort()

@@ -49,7 +49,7 @@ class _Mailbox:
 
         deadline = _time.monotonic() + timeout
 
-        def _find():
+        def _find() -> "tuple[Any, float] | None":
             for k, (src, tg, payload, arrival) in enumerate(self._messages):
                 if src == source and tg == tag:
                     del self._messages[k]
@@ -180,7 +180,7 @@ class Comm:
         """Synchronise all ranks (virtual cost: empty allreduce)."""
         cost = self.shared.cost
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             return None, max(clocks) + cost.barrier_time(len(slots))
 
         self._rendezvous(None, action)
@@ -190,7 +190,7 @@ class Comm:
         self._check_root(root)
         cost, size = self.shared.cost, self.size
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             payload = slots[root]
             nbytes = payload_nbytes(payload)
             return payload, max(clocks) + cost.bcast_time(size, nbytes)
@@ -207,7 +207,7 @@ class Comm:
                     f"root must scatter exactly {size} values"
                 )
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             seq = slots[root]
             per = max(payload_nbytes(v) for v in seq)
             return list(seq), max(clocks) + cost.scatter_time(size, per)
@@ -220,7 +220,7 @@ class Comm:
         self._check_root(root)
         cost, size = self.shared.cost, self.size
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             per = max(payload_nbytes(v) for v in slots)
             return list(slots), max(clocks) + cost.gather_time(size, per)
 
@@ -231,7 +231,7 @@ class Comm:
         """Gather everyone's element to every rank."""
         cost, size = self.shared.cost, self.size
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             per = max(payload_nbytes(v) for v in slots)
             return list(slots), max(clocks) + cost.allgather_time(size, per)
 
@@ -244,7 +244,7 @@ class Comm:
         self._check_root(root)
         cost, size = self.shared.cost, self.size
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             acc = slots[0]
             for v in slots[1:]:
                 acc = op(acc, v)
@@ -258,7 +258,7 @@ class Comm:
         """Reduce with ``op`` in rank order; result on every rank."""
         cost, size = self.shared.cost, self.size
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             acc = slots[0]
             for v in slots[1:]:
                 acc = op(acc, v)
@@ -283,7 +283,7 @@ class Comm:
         if key is None:
             key = self.rank
 
-        def action(slots, clocks):
+        def action(slots: "list[Any]", clocks: "list[float]") -> "tuple[Any, float]":
             groups: dict[int, list[tuple[int, int]]] = {}
             for c, k, r in slots:
                 groups.setdefault(c, []).append((k, r))

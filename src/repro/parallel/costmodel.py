@@ -23,7 +23,7 @@ import numpy as np
 from repro.errors import CommError
 
 
-def payload_nbytes(obj) -> int:
+def payload_nbytes(obj: object) -> int:
     """Transport size of a message payload in bytes.
 
     NumPy arrays count their buffers; dicts of arrays (accumulator buffer
@@ -42,7 +42,11 @@ def payload_nbytes(obj) -> int:
         return int(sum(v.nbytes for v in obj))
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception as exc:  # pragma: no cover - unpicklable payloads
+    except (pickle.PicklingError, TypeError, AttributeError, RecursionError) as exc:
+        # The concrete failure modes of pickle.dumps: PicklingError for
+        # declared-unpicklable objects, TypeError for locks/generators/...,
+        # AttributeError for unimportable classes, RecursionError for deep
+        # self-referential payloads.
         raise CommError(f"cannot size message payload: {exc}") from exc
 
 

@@ -15,12 +15,16 @@ comparable).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import CommError
 from repro.memory.base import Accumulator
 from repro.parallel.comm import Comm
 
 
-def _merge_buffers(acc_type, length: int):
+def _merge_buffers(
+    acc_type: "type[Accumulator]", length: int
+) -> "Callable[[dict, dict], dict]":
     """Binary reduction operator over accumulator buffer dicts."""
 
     def op(a: dict, b: dict) -> dict:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import AlignmentError
 from repro.genome.alphabet import N as CODE_N
+from repro.phmm import sanitize
 from repro.phmm.forward_backward import (
     backward_batch,
     emissions_batch,
@@ -96,6 +97,8 @@ def align_batch(
     pwms = np.asarray(pwms, dtype=np.float64)
     windows = np.asarray(windows)
     pstar = emissions_batch(pwms, windows, params)
+    if sanitize.enabled():
+        sanitize.check_emissions(pstar)
     fwd = forward_batch(pstar, params, mode=mode)
     bwd = backward_batch(pstar, params, mode=mode)
     post = posteriors_batch(pstar, pwms, windows, fwd, bwd, params)
@@ -107,6 +110,8 @@ def align_batch(
                 f"valid mask shape {valid.shape} != windows shape {windows.shape}"
             )
         z = z * valid[:, :, None]
+    if sanitize.enabled():
+        sanitize.check_z(z, valid)
     return AlignmentOutcome(
         z=z, loglik=fwd.loglik, occupancy=post.occupancy, posterior=post
     )

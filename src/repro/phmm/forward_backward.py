@@ -45,6 +45,7 @@ from scipy.signal import lfilter
 
 from repro.errors import AlignmentError
 from repro.observability import current as metrics
+from repro.phmm import sanitize
 from repro.phmm.model import PHMMParams
 
 _MODES = ("semiglobal", "global")
@@ -183,7 +184,12 @@ def forward_batch(
         total = fM[:, N, M] + fGX[:, N, M] + fGY[:, N, M]
     with np.errstate(divide="ignore"):
         loglik = np.log(np.maximum(total, 0.0)) + log_scale[:, N]
-    return ForwardResult(fM=fM, fGX=fGX, fGY=fGY, log_scale=log_scale, loglik=loglik, mode=mode)
+    result = ForwardResult(
+        fM=fM, fGX=fGX, fGY=fGY, log_scale=log_scale, loglik=loglik, mode=mode
+    )
+    if sanitize.enabled():
+        sanitize.check_forward(result)
+    return result
 
 
 def backward_batch(
@@ -257,7 +263,10 @@ def backward_batch(
         bGY[:, i, :] /= t[:, None]
         log_scale[:, i] = log_scale[:, i + 1] + np.log(t)
 
-    return BackwardResult(bM=bM, bGX=bGX, bGY=bGY, log_scale=log_scale, mode=mode)
+    result = BackwardResult(bM=bM, bGX=bGX, bGY=bGY, log_scale=log_scale, mode=mode)
+    if sanitize.enabled():
+        sanitize.check_backward(result)
+    return result
 
 
 def backward_loglik(fwd_pstar: np.ndarray, bwd: BackwardResult, mode: str) -> np.ndarray:

@@ -17,10 +17,14 @@ spans it is supposed to mirror.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import PipelineError
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.pipeline.config import PipelineConfig
 
 
 @dataclass(frozen=True)
@@ -81,7 +85,7 @@ class ComputeCalibration:
         cls,
         reference: Reference,
         reads: "list[Read]",
-        config=None,
+        config: "PipelineConfig | None" = None,
     ) -> "ComputeCalibration":
         """Calibrate by timing one real serial run on a read sample."""
         from repro.observability import scope

@@ -28,6 +28,7 @@ from repro.index.seeding import Seeder
 from repro.memory.base import Accumulator, make_accumulator
 from repro.observability import scope, span
 from repro.observability.snapshot import MetricsSnapshot
+from repro.phmm import sanitize
 from repro.phmm.alignment import align_batch, build_windows
 from repro.phmm.pwm import flat_pwm, pwm_from_read, reverse_complement_pwm
 from repro.phmm.scoring import group_normalize
@@ -287,9 +288,10 @@ class GnumapSnp:
         """LRT over the accumulated evidence; returns SNP records."""
         with scope() as reg:
             with span("call"):
-                snps = self.caller.snps(
-                    accumulator.snapshot(), self.reference.codes
-                )
+                evidence = accumulator.snapshot()
+                if sanitize.enabled():
+                    sanitize.check_accumulator(evidence, where="accumulator.snapshot")
+                snps = self.caller.snps(evidence, self.reference.codes)
             if timers is not None:
                 fill_timers(timers, reg.snapshot())
         return snps

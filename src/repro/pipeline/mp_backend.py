@@ -24,6 +24,7 @@ from repro.memory.base import make_accumulator
 from repro.observability import detached, merge_snapshots, scope, span
 from repro.observability.snapshot import MetricsSnapshot
 from repro.parallel.partition import partition_reads_contiguous, take
+from repro.phmm import sanitize
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult, fill_timers
 from repro.util.timers import TimerRegistry
@@ -33,15 +34,26 @@ from repro.util.timers import TimerRegistry
 _WORKER: dict = {}
 
 
-def _init_worker(ref_codes: np.ndarray, ref_name: str, config: PipelineConfig) -> None:
+def _init_worker(
+    ref_codes: np.ndarray,
+    ref_name: str,
+    config: PipelineConfig,
+    sanitize_on: bool = False,
+) -> None:
+    # Sanctioned pool-initializer pattern: each worker process installs its
+    # own pipeline once; no writes ever flow back to the parent.
+    if sanitize_on:
+        # Spawned workers don't inherit a programmatically-enabled sanitizer;
+        # propagate the parent's setting explicitly.
+        sanitize.enable()
     reference = Reference(ref_codes, name=ref_name)
-    _WORKER["pipe"] = GnumapSnp(reference, config)
-    _WORKER["config"] = config
+    _WORKER["pipe"] = GnumapSnp(reference, config)  # replint: disable=RPL301
+    _WORKER["config"] = config  # replint: disable=RPL301
 
 
-def _map_chunk(payload: tuple) -> tuple[dict, dict, MetricsSnapshot]:
+def _map_chunk(payload: "tuple[list, list, list]") -> "tuple[dict, dict, MetricsSnapshot]":
     codes_list, quals_list, names = payload
-    pipe: GnumapSnp = _WORKER["pipe"]
+    pipe: GnumapSnp = _WORKER["pipe"]  # replint: disable=RPL301
     reads = [
         Read(name=n, codes=c, quals=q)
         for n, c, q in zip(names, codes_list, quals_list)
@@ -94,7 +106,12 @@ def run_multiprocessing(
             with ctx.Pool(
                 processes=n_workers,
                 initializer=_init_worker,
-                initargs=(np.asarray(reference.codes), reference.name, config),
+                initargs=(
+                    np.asarray(reference.codes),
+                    reference.name,
+                    config,
+                    sanitize.enabled(),
+                ),
             ) as pool:
                 partials = pool.map(_map_chunk, chunks)
 
@@ -116,6 +133,11 @@ def run_multiprocessing(
 
         if merged is None:  # no reads at all
             merged = pipe.new_accumulator()
+        if sanitize.enabled():
+            # Validate the cross-worker reduction before calling: a partial
+            # corrupted in transit (or by a worker) must fail here, not as a
+            # bogus SNP downstream.
+            sanitize.check_accumulator(merged.snapshot(), where="accumulator.merge")
         snps = pipe.call_snps(merged)
         snap = reg.snapshot()
         fill_timers(timers, snap)

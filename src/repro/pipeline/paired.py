@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.genome.fastq import Read
 from repro.genome.reference import Reference
 from repro.memory.base import Accumulator
 from repro.phmm.alignment import align_batch, build_windows
@@ -97,7 +98,7 @@ class PairedGnumap:
         return self.pipeline.config
 
     # -- per-mate alignment ----------------------------------------------------
-    def _align_mate(self, read) -> "_MateCandidates | None":
+    def _align_mate(self, read: Read) -> "_MateCandidates | None":
         cfg = self.config
         candidates = self.pipeline.seeder.candidates(read)
         if not candidates:

@@ -29,10 +29,10 @@ from repro.calling.caller import SNPCaller
 from repro.calling.records import SNPCall
 from repro.errors import PipelineError
 from repro.genome.fastq import Read
-from repro.genome.reference import Reference
+from repro.genome.reference import Reference, Segment
 from repro.index.hashindex import GenomeIndex
 from repro.index.seeding import Seeder
-from repro.memory.base import make_accumulator
+from repro.memory.base import Accumulator, make_accumulator
 from repro.observability import span
 from repro.parallel.comm import Comm
 from repro.parallel.partition import partition_reads_contiguous, take
@@ -273,8 +273,8 @@ def _process_read_batch(
     batch: "list[Read]",
     seeder: Seeder,
     local_ref: Reference,
-    acc,
-    seg,
+    acc: Accumulator,
+    seg: Segment,
     ext_start: int,
     config: PipelineConfig,
     stats: MappingStats,
@@ -400,8 +400,8 @@ def _process_read_batch(
 
 def _halo_exchange(
     comm: Comm,
-    acc,
-    seg,
+    acc: Accumulator,
+    seg: Segment,
     ext_start: int,
     ext_stop: int,
     glen: int,

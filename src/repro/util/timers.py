@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -35,7 +36,7 @@ class StageTimer:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._started is None:  # pragma: no cover - defensive
             raise RuntimeError(f"timer {self.name!r} exited without entry")
         self.elapsed += time.perf_counter() - self._started
@@ -64,7 +65,7 @@ class TimerRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._timers
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[StageTimer]":
         return iter(self._timers.values())
 
     def account(self, name: str, seconds: float, entries: int = 1) -> None:

@@ -1,0 +1,13 @@
+"""Make the in-repo ``tools/`` directory importable (replint lives there).
+
+The package under test is installed (or on ``PYTHONPATH=src``); replint is a
+development tool shipped alongside the package, so the tests add ``tools/``
+to ``sys.path`` themselves rather than requiring an install step.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = str(Path(__file__).resolve().parents[2] / "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)

@@ -1,0 +1,174 @@
+"""CLI, configuration, and whole-tree tests for replint.
+
+The final test in this module is the enforcement hook: the repository's own
+``src`` tree must lint clean, mirroring what CI runs.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from replint import ReplintConfig, __version__, lint_paths, load_config
+from replint.cli import main
+from replint.findings import Finding, render_json, render_text
+from replint.rules import ALL_RULES, RULES_BY_ID
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+TRIGGER = textwrap.dedent(
+    """
+    import numpy as np
+
+    def f():
+        return np.random.normal(size=3)
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def f(rng):
+        return rng.normal(size=3)
+    """
+)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        assert main([str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_with_report(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL201" in out
+        assert "1 finding(s) in 1 file(s)" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "replint/v1"
+        assert doc["version"] == __version__
+        assert doc["files_checked"] == 2
+        assert [f["rule_id"] for f in doc["findings"]] == ["RPL201"]
+        finding = doc["findings"][0]
+        assert {"path", "line", "col", "rule_id", "rule_name", "message"} <= set(finding)
+
+    def test_select_limits_rules(self, tmp_path):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        assert main([str(tmp_path), "--select", "RPL401"]) == 0
+        assert main([str(tmp_path), "--select", "RPL201"]) == 1
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--select", "RPL999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_no_files_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "empty")]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_list_rules_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+            assert rule.rule_name in out
+
+    def test_module_entrypoint(self, tmp_path):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        proc = subprocess.run(
+            [sys.executable, "-m", "replint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "tools"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RPL201" in proc.stdout
+
+
+class TestConfig:
+    def test_defaults_when_missing(self, tmp_path):
+        config = load_config(tmp_path / "absent.toml")
+        assert config == ReplintConfig()
+
+    def test_loads_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.replint]\nworker-modules = ["*/w/*.py"]\nselect = ["RPL401"]\n'
+        )
+        config = load_config(pyproject)
+        assert config.worker_modules == ["*/w/*.py"]
+        assert config.rule_selected("RPL401")
+        assert not config.rule_selected("RPL201")
+
+    def test_unknown_key_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.replint]\nworker_modlues = ["x"]\n')
+        with pytest.raises(ValueError, match="unknown"):
+            load_config(pyproject)
+
+    def test_non_list_value_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.replint]\nexclude = "src"\n')
+        with pytest.raises(ValueError, match="list of strings"):
+            load_config(pyproject)
+
+    def test_repo_pyproject_parses(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.is_kernel_module("src/repro/phmm/forward_backward.py")
+        assert config.is_worker_module("src/repro/parallel/comm.py")
+        assert config.is_rng_sanctioned("src/repro/util/rng.py")
+
+    def test_exclude(self, tmp_path):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        config = ReplintConfig(exclude=["*/mod.py"])
+        assert lint_paths([tmp_path], config) == []
+
+
+class TestRenderers:
+    FINDING = Finding(
+        path="src/x.py", line=3, col=4, rule_id="RPL201",
+        rule_name="unseeded-rng", message="msg",
+    )
+
+    def test_text_line_format(self):
+        assert self.FINDING.text() == "src/x.py:3:4: RPL201 [unseeded-rng] msg"
+
+    def test_render_text_empty(self):
+        assert render_text([]) == ""
+
+    def test_render_json_roundtrip(self):
+        doc = json.loads(render_json([self.FINDING], files_checked=7, version="1.0.0"))
+        assert doc["files_checked"] == 7
+        assert doc["findings"][0]["rule_id"] == "RPL201"
+
+
+class TestRegistry:
+    def test_at_least_five_rules(self):
+        assert len(RULES_BY_ID) >= 5
+
+    def test_ids_unique_and_documented(self):
+        assert len({r.rule_id for r in ALL_RULES}) == len(ALL_RULES)
+        for rule in ALL_RULES:
+            assert type(rule).__doc__
+            assert rule.rule_id.startswith("RPL")
+
+
+class TestRepositoryTree:
+    def test_src_lints_clean(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths([REPO_ROOT / "src"], config)
+        assert findings == [], "\n" + "\n".join(f.text() for f in findings)
+
+    def test_tools_lint_clean(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths([REPO_ROOT / "tools"], config)
+        assert findings == [], "\n" + "\n".join(f.text() for f in findings)

@@ -1,0 +1,435 @@
+"""Per-rule replint tests: a trigger, a clean pass, and a suppression each.
+
+Snippets are linted through :func:`replint.lint_source` with synthetic paths
+so the path-scoped rules (worker/kernel/RNG-sanctioned modules) can be
+exercised against the default configuration.
+"""
+
+import textwrap
+
+from replint import ReplintConfig, lint_source
+
+GENERIC = "src/repro/pipeline/example.py"
+KERNEL = "src/repro/phmm/example.py"
+WORKER = "src/repro/parallel/example.py"
+RNG_HOME = "src/repro/util/rng.py"
+
+
+def lint(snippet: str, path: str = GENERIC, config: "ReplintConfig | None" = None):
+    return lint_source(textwrap.dedent(snippet), path, config)
+
+
+def ids(findings) -> list:
+    return [f.rule_id for f in findings]
+
+
+class TestRPL101DomainMixCall:
+    def test_trigger_double_log(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(loglik):
+                return np.log(loglik)
+            """
+        )
+        assert ids(findings) == ["RPL101"]
+        assert "double log" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_trigger_exp_of_linear(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(weights):
+                return np.exp(weights)
+            """
+        )
+        assert ids(findings) == ["RPL101"]
+
+    def test_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(loglik, weights):
+                a = np.exp(loglik)
+                b = np.log(weights)
+                return a, b
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(loglik):
+                return np.log(loglik)  # replint: disable=RPL101
+            """
+        )
+        assert findings == []
+
+
+class TestRPL102DomainMixArith:
+    def test_trigger_log_plus_linear(self):
+        findings = lint(
+            """
+            def f(loglik, weights):
+                return loglik + weights
+            """
+        )
+        assert ids(findings) == ["RPL102"]
+
+    def test_clean_same_domain(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(loglik, log_prior, weights):
+                a = loglik + log_prior
+                b = loglik + np.log(weights)
+                return a, b
+            """
+        )
+        assert findings == []
+
+    def test_unclassified_operands_not_flagged(self):
+        findings = lint(
+            """
+            def f(a, b):
+                return a + b
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def f(loglik, weights):
+                return loglik + weights  # replint: disable=RPL102
+            """
+        )
+        assert findings == []
+
+
+class TestRPL201UnseededRng:
+    def test_trigger(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.normal(size=3)
+            """
+        )
+        assert ids(findings) == ["RPL201"]
+        assert "np.random.normal" in findings[0].message
+
+    def test_trigger_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng(0)
+            """
+        )
+        assert ids(findings) == ["RPL201"]
+
+    def test_clean_generator_api(self):
+        findings = lint(
+            """
+            def f(rng):
+                return rng.normal(size=3)
+            """
+        )
+        assert findings == []
+
+    def test_sanctioned_module_exempt(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def resolve_rng(seed):
+                return np.random.default_rng(seed)
+            """,
+            path=RNG_HOME,
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng(0)  # replint: disable=RPL201
+            """
+        )
+        assert findings == []
+
+
+class TestRPL301WorkerSharedState:
+    SNIPPET = """
+    _CACHE = {}
+
+    def worker(task):
+        _CACHE[task.key] = task
+        return _CACHE
+    """
+
+    def test_trigger_in_worker_module(self):
+        findings = lint(self.SNIPPET, path=WORKER)
+        assert set(ids(findings)) == {"RPL301"}
+        assert "_CACHE" in findings[0].message
+
+    def test_same_code_outside_worker_module_clean(self):
+        findings = lint(self.SNIPPET, path=GENERIC)
+        assert findings == []
+
+    def test_clean_state_through_arguments(self):
+        findings = lint(
+            """
+            def worker(task, cache):
+                cache[task.key] = task
+                return cache
+            """,
+            path=WORKER,
+        )
+        assert findings == []
+
+    def test_immutable_module_constant_clean(self):
+        findings = lint(
+            """
+            BATCH = 256
+
+            def worker(tasks):
+                return tasks[:BATCH]
+            """,
+            path=WORKER,
+        )
+        assert findings == []
+
+    def test_global_statement_flagged(self):
+        findings = lint(
+            """
+            _STATE = dict()
+
+            def init():
+                global _STATE
+            """,
+            path=WORKER,
+        )
+        assert "RPL301" in ids(findings)
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            _WORKER = {}
+
+            def init(payload):
+                _WORKER["payload"] = payload  # replint: disable=RPL301
+            """,
+            path=WORKER,
+        )
+        assert findings == []
+
+
+class TestRPL401BroadExcept:
+    def test_trigger_except_exception(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    return work()
+                except Exception:
+                    return None
+            """
+        )
+        assert ids(findings) == ["RPL401"]
+
+    def test_trigger_bare_except(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    return work()
+                except:
+                    return None
+            """
+        )
+        assert ids(findings) == ["RPL401"]
+        assert "bare except" in findings[0].message
+
+    def test_trigger_in_tuple(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    return work()
+                except (ValueError, Exception):
+                    return None
+            """
+        )
+        assert ids(findings) == ["RPL401"]
+
+    def test_clean_specific(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    return work()
+                except (ValueError, KeyError):
+                    return None
+            """
+        )
+        assert findings == []
+
+    def test_boundary_module_exempt(self):
+        config = ReplintConfig(boundary_modules=["*/pipeline/example.py"])
+        findings = lint(
+            """
+            def f():
+                try:
+                    return work()
+                except Exception:
+                    return None
+            """,
+            config=config,
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    return work()
+                except Exception:  # replint: disable=RPL401
+                    return None
+            """
+        )
+        assert findings == []
+
+
+class TestRPL501UnguardedReductionLog:
+    def test_trigger_in_kernel_module(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def loglik(f):
+                return np.log(f.sum(axis=1))
+            """,
+            path=KERNEL,
+        )
+        assert ids(findings) == ["RPL501"]
+
+    def test_same_code_outside_kernel_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def loglik(f):
+                return np.log(f.sum(axis=1))
+            """,
+            path=GENERIC,
+        )
+        assert findings == []
+
+    def test_clean_under_errstate(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def loglik(f):
+                with np.errstate(divide="ignore"):
+                    return np.log(f.sum(axis=1))
+            """,
+            path=KERNEL,
+        )
+        assert findings == []
+
+    def test_guard_survives_nesting(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def loglik(f, mask):
+                with np.errstate(divide="ignore"):
+                    if mask.any():
+                        return np.log(f.sum(axis=1))
+                return 0.0
+            """,
+            path=KERNEL,
+        )
+        assert findings == []
+
+    def test_log_of_plain_value_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(weights):
+                return np.log(weights)
+            """,
+            path=KERNEL,
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def loglik(f):
+                return np.log(f.sum(axis=1))  # replint: disable=RPL501
+            """,
+            path=KERNEL,
+        )
+        assert findings == []
+
+
+class TestSuppressionMechanics:
+    def test_disable_all(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.normal()  # replint: disable=all
+            """
+        )
+        assert findings == []
+
+    def test_wrong_id_does_not_suppress(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.normal()  # replint: disable=RPL401
+            """
+        )
+        assert ids(findings) == ["RPL201"]
+
+    def test_multiple_ids(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(loglik):
+                return np.log(loglik) + np.random.normal()  # replint: disable=RPL101, RPL201
+            """
+        )
+        assert findings == []
+
+
+class TestParseError:
+    def test_syntax_error_reported_as_rpl000(self):
+        findings = lint("def broken(:\n")
+        assert ids(findings) == ["RPL000"]
+        assert findings[0].rule_name == "parse-error"

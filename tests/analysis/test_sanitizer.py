@@ -1,0 +1,226 @@
+"""Runtime numerical sanitizer: off by default, silent on clean runs,
+loud (with span attribution) on corrupted values.
+
+The seeded-fault tests patch a kernel/accumulator to inject a NaN exactly as
+a numerical bug would, and assert the sanitizer converts the silent
+corruption into a :class:`repro.errors.SanitizerError` naming the check and
+the pipeline stage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SanitizerError
+from repro.experiments.workload import build_workload
+from repro.memory.dense import DenseAccumulator
+from repro.observability import span
+from repro.phmm import sanitize
+from repro.phmm.forward_backward import emissions_batch, forward_batch
+from repro.phmm.model import PHMMParams
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+
+
+@pytest.fixture(autouse=True)
+def sanitizer_off_after():
+    """Every test leaves the process-global switch as it found it."""
+    prev = sanitize.enabled()
+    yield
+    if prev:
+        sanitize.enable()
+    else:
+        sanitize.disable()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = build_workload(scale="tiny", seed=77)
+    wl.reads = wl.reads[:120]
+    return wl
+
+
+class TestActivation:
+    def test_off_by_default(self):
+        # REPRO_SANITIZE is not set in the test environment.
+        assert not sanitize.enabled()
+
+    def test_enable_disable(self):
+        sanitize.enable()
+        assert sanitize.enabled()
+        sanitize.disable()
+        assert not sanitize.enabled()
+
+    def test_sanitized_context_restores(self):
+        with sanitize.sanitized():
+            assert sanitize.enabled()
+            with sanitize.sanitized(on=False):
+                assert not sanitize.enabled()
+            assert sanitize.enabled()
+        assert not sanitize.enabled()
+
+    def test_cli_flag_enables(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["call", "ref.fa", "reads.fq", "--sanitize"])
+        assert args.sanitize is True
+        args = build_parser().parse_args(["call", "ref.fa", "reads.fq"])
+        assert args.sanitize is False
+
+
+class TestChecks:
+    def test_check_finite_accepts_clean(self):
+        sanitize.check_finite("t", "x", np.ones(4))
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(SanitizerError, match="non-finite"):
+            sanitize.check_finite("t", "x", np.array([1.0, np.nan]))
+
+    def test_check_finite_neg_inf_policy(self):
+        arr = np.array([0.0, -np.inf])
+        sanitize.check_finite("t", "x", arr, allow_neg_inf=True)
+        with pytest.raises(SanitizerError):
+            sanitize.check_finite("t", "x", arr)
+
+    def test_check_non_negative(self):
+        with pytest.raises(SanitizerError, match="negative probability mass"):
+            sanitize.check_non_negative("t", "x", np.array([0.5, -1e-3]))
+
+    def test_check_emissions_rejects_above_one(self):
+        pstar = np.full((1, 2, 2), 0.5)
+        sanitize.check_emissions(pstar)
+        pstar[0, 1, 1] = 1.5
+        with pytest.raises(SanitizerError, match="exceeds 1"):
+            sanitize.check_emissions(pstar)
+
+    def test_check_z_unit_mass(self):
+        z = np.full((1, 3, 5), 0.2)  # sums to exactly 1 per position
+        sanitize.check_z(z)
+        z[0, 1, :] = 0.3  # 1.5 total
+        with pytest.raises(SanitizerError, match="exceeds 1"):
+            sanitize.check_z(z)
+
+    def test_check_z_valid_mask_excuses_padding(self):
+        z = np.zeros((1, 2, 5))
+        z[0, 1, :] = 0.5  # 2.5 total, but masked out
+        valid = np.array([[True, False]])
+        sanitize.check_z(z, valid)
+
+    def test_check_accumulator(self):
+        with pytest.raises(SanitizerError, match="evidence"):
+            sanitize.check_accumulator(np.array([[np.nan] * 5]), where="accumulator.add")
+
+    def test_error_is_reproerror_with_context(self):
+        with span("map_reads"):
+            with span("align"):
+                with pytest.raises(SanitizerError) as exc_info:
+                    sanitize.check_finite("forward", "fM", np.array([np.nan]))
+        err = exc_info.value
+        assert isinstance(err, ReproError)
+        assert err.check == "forward"
+        assert err.span_path == ("map_reads", "align")
+        assert "map_reads/align" in str(err)
+
+
+class TestKernelHooks:
+    PARAMS = PHMMParams()
+
+    def _pstar(self) -> np.ndarray:
+        rng = np.random.default_rng(5)
+        return rng.uniform(0.01, 0.95, size=(2, 6, 10))
+
+    def test_forward_clean_passes_when_enabled(self):
+        pstar = self._pstar()
+        with sanitize.sanitized():
+            result = forward_batch(pstar, self.PARAMS)
+        assert np.isfinite(result.loglik).all()
+
+    def test_corrupted_forward_raises_only_when_enabled(self, monkeypatch):
+        """Seeded fault: the kernel returns a NaN-poisoned matrix."""
+        import repro.phmm.forward_backward as fb
+
+        real_lfilter = fb.lfilter
+
+        def poisoned_lfilter(*args, **kwargs):
+            out = real_lfilter(*args, **kwargs)
+            if isinstance(out, np.ndarray) and out.size:
+                out = out.copy()
+                out.flat[0] = np.nan
+            return out
+
+        monkeypatch.setattr(fb, "lfilter", poisoned_lfilter)
+        pstar = self._pstar()
+        # Default mode: the corruption flows through silently.
+        result = forward_batch(pstar, self.PARAMS)
+        assert np.isnan(result.fM).any() or np.isnan(result.loglik).any()
+        # Sanitized mode: the same fault is caught at the kernel boundary.
+        with sanitize.sanitized():
+            with pytest.raises(SanitizerError, match="forward"):
+                forward_batch(pstar, self.PARAMS)
+
+    def test_emission_corruption_attributed_to_stage(self, workload, monkeypatch):
+        """A poisoned emission kernel fails inside map_reads/align."""
+        import repro.phmm.alignment as alignment
+
+        def poisoned_emissions(pwms, windows, params):
+            out = emissions_batch(pwms, windows, params)
+            out = out.copy()
+            out.flat[0] = np.nan
+            return out
+
+        monkeypatch.setattr(alignment, "emissions_batch", poisoned_emissions)
+        pipe = GnumapSnp(workload.reference, PipelineConfig())
+        with sanitize.sanitized():
+            with pytest.raises(SanitizerError) as exc_info:
+                pipe.map_reads(workload.reads)
+        assert exc_info.value.check == "emissions"
+        assert "align" in exc_info.value.span_path
+
+
+class TestAccumulatorHooks:
+    def test_corrupted_add_raises_when_enabled(self):
+        acc = DenseAccumulator(8)
+        positions = np.array([1, 2], dtype=np.int64)
+        z = np.full((2, 5), 0.1)
+        z[1, 3] = np.nan
+        # Default: NaN slips past the (z < 0) guard.
+        acc.add(positions, z.copy())
+        assert np.isnan(acc.snapshot()).any()
+        # Sanitized: caught at the add boundary.
+        acc2 = DenseAccumulator(8)
+        with sanitize.sanitized():
+            with pytest.raises(SanitizerError, match="accumulator.add"):
+                acc2.add(positions, z.copy())
+
+    def test_clean_add_unaffected(self):
+        acc = DenseAccumulator(8)
+        positions = np.array([1, 2], dtype=np.int64)
+        z = np.full((2, 5), 0.1)
+        with sanitize.sanitized():
+            acc.add(positions, z)
+        assert acc.snapshot().sum() == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_clean_run_identical_with_sanitizer(self, workload):
+        """The sanitizer is observe-only: enabling it changes nothing."""
+        config = PipelineConfig()
+        plain = GnumapSnp(workload.reference, config).run(workload.reads)
+        with sanitize.sanitized():
+            checked = GnumapSnp(workload.reference, config).run(workload.reads)
+        assert {(s.pos, s.alt_name) for s in checked.snps} == {
+            (s.pos, s.alt_name) for s in plain.snps
+        }
+        assert np.allclose(
+            checked.accumulator.snapshot(), plain.accumulator.snapshot()
+        )
+
+    def test_snapshot_check_catches_poisoned_accumulator(self, workload):
+        config = PipelineConfig()
+        pipe = GnumapSnp(workload.reference, config)
+        acc, _ = pipe.map_reads(workload.reads)
+        acc.add(np.array([0], dtype=np.int64), np.full((1, 5), 0.1))
+        # Poison the stored evidence directly (as a buggy merge would).
+        acc._z[0, 0] = np.inf
+        with sanitize.sanitized():
+            with pytest.raises(SanitizerError, match="accumulator.snapshot"):
+                pipe.call_snps(acc)

@@ -1,0 +1,34 @@
+"""replint — the repro repository's domain-specific static analyser.
+
+A small AST linter encoding the numerical and concurrency invariants this
+codebase depends on: log-space vs. linear-space probability hygiene, seeded
+RNG discipline, multiprocessing shared-state safety, exception-boundary
+policy, and ``np.errstate`` guards around kernel reductions.
+
+Run it as ``python -m replint src`` (with ``tools/`` on ``PYTHONPATH``), or
+use the programmatic API::
+
+    from replint import lint_paths
+    findings = lint_paths(["src"])
+
+Findings can be rendered as human-readable text or machine-readable JSON;
+individual lines opt out with ``# replint: disable=RPL101`` comments.
+"""
+
+from __future__ import annotations
+
+from replint.config import ReplintConfig, load_config
+from replint.engine import lint_file, lint_paths, lint_source
+from replint.findings import Finding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "ReplintConfig",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "__version__",
+]

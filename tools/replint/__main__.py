@@ -1,0 +1,6 @@
+"""``python -m replint`` entry point."""
+
+from replint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""File walking, per-line suppressions, and rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from replint.config import ReplintConfig
+from replint.findings import Finding
+from replint.rules import ALL_RULES
+from replint.rules.base import FileContext, numpy_aliases
+
+_SUPPRESS_RE = re.compile(r"#\s*replint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Line number -> suppressed rule IDs (``{"all"}`` suppresses every rule).
+
+    Suppressions are comments of the form ``# replint: disable=RPL101`` (a
+    comma-separated list, or the word ``all``) on the line the finding is
+    reported at.  Tokenize-based so string literals containing the marker
+    text are not misread as suppressions.
+    """
+    out: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            line = tok.start[0]
+            out[line] = out.get(line, frozenset()) | ids
+    except tokenize.TokenError:
+        pass  # unterminated source; the parse error is reported separately
+    return out
+
+
+def lint_source(
+    source: str, path: str, config: "ReplintConfig | None" = None
+) -> list[Finding]:
+    """Lint one file's source text; ``path`` is used for reporting/config."""
+    config = config or ReplintConfig()
+    posix = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="RPL000",
+                rule_name="parse-error",
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=posix,
+        tree=tree,
+        source=source,
+        config=config,
+        numpy_aliases=numpy_aliases(tree),
+    )
+    suppressed = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        if not config.rule_selected(rule.rule_id):
+            continue
+        for finding in rule.check(ctx):
+            ids = suppressed.get(finding.line, frozenset())
+            if "all" in ids or finding.rule_id in ids:
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(path: "Path | str", config: "ReplintConfig | None" = None) -> list[Finding]:
+    """Lint one file from disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p), config)
+
+
+def iter_python_files(paths: "list[str] | list[Path]") -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py" and p.is_file():
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: "list[str] | list[Path]", config: "ReplintConfig | None" = None
+) -> list[Finding]:
+    """Lint every Python file under the given files/directories."""
+    config = config or ReplintConfig()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        if config.is_excluded(path.as_posix()):
+            continue
+        findings.extend(lint_file(path, config))
+    return sorted(findings)

@@ -1,0 +1,45 @@
+"""Finding record and the two output renderers (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Sort order is (path, line, col, rule_id) so reports are stable across
+    filesystem walk order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.rule_name}] {self.message}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One line per finding plus a trailing summary line."""
+    lines = [f.text() for f in findings]
+    n_files = len({f.path for f in findings})
+    if findings:
+        lines.append(f"{len(findings)} finding(s) in {n_files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_checked: int, version: str) -> str:
+    """Machine-readable report (schema ``replint/v1``) for CI consumption."""
+    doc = {
+        "schema": "replint/v1",
+        "version": version,
+        "files_checked": files_checked,
+        "findings": [asdict(f) for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

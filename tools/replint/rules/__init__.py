@@ -1,0 +1,27 @@
+"""Rule registry.
+
+``ALL_RULES`` is the ordered catalogue the engine runs; ``--list-rules``
+renders each rule's ID, name and docstring from here.
+"""
+
+from __future__ import annotations
+
+from replint.rules.base import FileContext, Rule
+from replint.rules.domains import DomainMixArithRule, LogDomainCallRule
+from replint.rules.errstate import UnguardedReductionLogRule
+from replint.rules.excepts import BroadExceptRule
+from replint.rules.rng import UnseededRngRule
+from replint.rules.workers import WorkerSharedStateRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    LogDomainCallRule(),
+    DomainMixArithRule(),
+    UnseededRngRule(),
+    WorkerSharedStateRule(),
+    BroadExceptRule(),
+    UnguardedReductionLogRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "FileContext", "Rule"]

@@ -1,0 +1,112 @@
+"""Log-space vs. linear-space probability hygiene (RPL101, RPL102).
+
+The Pair-HMM pipeline carries probabilities in two currencies — linear space
+(emissions, posterior masses, mapping weights) and log space (likelihoods,
+scale accumulators).  Mixing them silently produces numbers that *look*
+plausible while being nonsense; these two rules catch the textbook slips.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from replint.findings import Finding
+from replint.rules.base import (
+    FileContext,
+    call_target,
+    expr_domain,
+    looks_log_domain,
+    terminal_name,
+)
+
+_LOG_FUNCS = ("np.log", "np.log2", "np.log10", "np.log1p", "math.log")
+_EXP_FUNCS = ("np.exp", "np.expm1", "math.exp")
+
+
+class LogDomainCallRule:
+    """RPL101: ``np.log`` of a log-domain value, or ``np.exp`` of a value
+    not marked log-domain.
+
+    ``np.log(loglik)`` double-logs an already-log quantity;
+    ``np.exp(weights)`` exponentiates something that is already a linear
+    probability.  Arguments whose domain cannot be identified (arithmetic,
+    calls, literals) are not flagged — the rule keys on the *name* of the
+    argument, so keeping domain-honest names keeps the rule quiet.
+    """
+
+    rule_id = "RPL101"
+    rule_name = "domain-mix-call"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            target = call_target(node, ctx)
+            arg = node.args[0]
+            if target in _LOG_FUNCS and expr_domain(arg, ctx) == "log":
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    rule_name=self.rule_name,
+                    message=(
+                        f"{target} applied to log-domain value "
+                        f"{terminal_name(arg)!r} (double log)"
+                    ),
+                )
+            elif target in _EXP_FUNCS:
+                name = terminal_name(arg)
+                if name is not None and not looks_log_domain(name):
+                    yield Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.rule_id,
+                        rule_name=self.rule_name,
+                        message=(
+                            f"{target} applied to {name!r}, which is not "
+                            "marked log-domain (exponentiating a linear "
+                            "probability?)"
+                        ),
+                    )
+
+
+class DomainMixArithRule:
+    """RPL102: addition/subtraction between a log-domain operand and a
+    linear-domain operand.
+
+    ``loglik + weights`` adds incompatible currencies; the correct forms are
+    ``loglik + np.log(weights)`` or ``np.exp(loglik) * weights``.  Both
+    operands must be confidently classified (by name vocabulary or a direct
+    ``np.log``/``np.exp`` call) for the rule to fire.
+    """
+
+    rule_id = "RPL102"
+    rule_name = "domain-mix-arith"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = expr_domain(node.left, ctx)
+            right = expr_domain(node.right, ctx)
+            if left is None or right is None or left == right:
+                continue
+            log_side = node.left if left == "log" else node.right
+            lin_side = node.right if left == "log" else node.left
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                rule_name=self.rule_name,
+                message=(
+                    f"log-domain value {terminal_name(log_side) or 'expression'!r} "
+                    f"combined additively with linear-domain value "
+                    f"{terminal_name(lin_side) or 'expression'!r}"
+                ),
+            )

@@ -1,0 +1,136 @@
+"""``np.errstate`` guards around kernel reductions (RPL501).
+
+In the PHMM kernels, ``np.log`` / ``np.exp`` applied to the result of a
+reduction (``.sum()``, ``.max()``, ``np.einsum`` ...) is where underflow
+legitimately produces ``-inf`` (a zero-probability alignment) — but without
+an ``np.errstate`` context the same expression emits a RuntimeWarning that
+is invisible in production and, under ``warnings-as-errors`` test runs,
+flaky.  The kernels' policy is: every log/exp-of-reduction is wrapped in an
+explicit ``with np.errstate(...)`` declaring which conditions are expected.
+
+The rule applies only to ``kernel_modules`` (default ``*/phmm/*.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from replint.findings import Finding
+from replint.rules.base import FileContext, call_target
+
+_LOG_EXP = frozenset(
+    {"np.log", "np.log2", "np.log10", "np.log1p", "np.exp", "np.expm1"}
+)
+_REDUCTION_METHODS = frozenset(
+    {"sum", "max", "min", "prod", "mean", "dot", "trace"}
+)
+_REDUCTION_FUNCS = frozenset(
+    {
+        "np.sum",
+        "np.max",
+        "np.min",
+        "np.amax",
+        "np.amin",
+        "np.prod",
+        "np.mean",
+        "np.nansum",
+        "np.nanmax",
+        "np.nanmin",
+        "np.einsum",
+        "np.dot",
+        "np.tensordot",
+        "np.trace",
+    }
+)
+
+
+def _contains_reduction(node: ast.expr, ctx: FileContext) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        target = call_target(sub, ctx)
+        if target in _REDUCTION_FUNCS:
+            return True
+        if (
+            target is None
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _REDUCTION_METHODS
+        ):
+            return True
+        if target is not None and target.rsplit(".", 1)[-1] in _REDUCTION_METHODS:
+            return True
+    return False
+
+
+def _is_errstate_with(node: ast.With, ctx: FileContext) -> bool:
+    for item in node.items:
+        if isinstance(item.context_expr, ast.Call):
+            if call_target(item.context_expr, ctx) == "np.errstate":
+                return True
+    return False
+
+
+class UnguardedReductionLogRule:
+    """RPL501: ``np.log``/``np.exp`` of a reduction outside ``np.errstate``
+    in a kernel module.
+
+    Wrap the expression in ``with np.errstate(divide="ignore", ...)`` (or
+    the condition the kernel genuinely expects) so underflow handling is a
+    declared decision rather than an accidental warning.
+    """
+
+    rule_id = "RPL501"
+    rule_name = "unguarded-reduction-log"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.is_kernel_module(ctx.path):
+            return
+        yield from self._visit(ctx.tree.body, ctx, guarded=False)
+
+    def _visit(
+        self, body: list[ast.stmt], ctx: FileContext, guarded: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                inner = guarded or _is_errstate_with(stmt, ctx)
+                yield from self._visit(stmt.body, ctx, inner)
+                continue
+            if not guarded:
+                yield from self._check_stmt_exprs(stmt, ctx)
+            # Recurse into nested blocks, preserving guard state.
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if isinstance(nested, list) and nested and isinstance(nested[0], ast.stmt):
+                    yield from self._visit(nested, ctx, guarded)
+            handlers = getattr(stmt, "handlers", None)
+            if handlers:
+                for handler in handlers:
+                    yield from self._visit(handler.body, ctx, guarded)
+
+    def _check_stmt_exprs(self, stmt: ast.stmt, ctx: FileContext) -> Iterator[Finding]:
+        # Only examine the statement's own expressions, not nested blocks
+        # (those are re-visited with their own guard state).
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.stmt):
+                continue
+            yield from self._check_expr(node, ctx)
+
+    def _check_expr(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Call) and sub.args):
+                continue
+            target = call_target(sub, ctx)
+            if target in _LOG_EXP and _contains_reduction(sub.args[0], ctx):
+                yield Finding(
+                    path=ctx.path,
+                    line=sub.lineno,
+                    col=sub.col_offset,
+                    rule_id=self.rule_id,
+                    rule_name=self.rule_name,
+                    message=(
+                        f"{target} of a reduction outside np.errstate — wrap "
+                        "in `with np.errstate(...)` declaring the expected "
+                        "underflow/overflow conditions"
+                    ),
+                )

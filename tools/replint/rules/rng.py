@@ -1,0 +1,54 @@
+"""Seeded-RNG discipline (RPL201).
+
+Reproducibility is a stated contract of this repository: every stochastic
+component threads an explicit :class:`numpy.random.Generator` resolved by
+``repro.util.rng``.  Calls through the module-level ``np.random`` namespace
+(``np.random.seed``, ``np.random.normal``, even ``np.random.default_rng``)
+bypass that plumbing — the first two also mutate hidden global state that
+multiprocessing workers then share-by-fork.  Only the sanctioned RNG module
+(``rng_sanctioned`` config, default ``*/util/rng.py``) may touch
+``np.random`` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from replint.findings import Finding
+from replint.rules.base import FileContext, call_target
+
+
+class UnseededRngRule:
+    """RPL201: ``np.random.*`` call outside the sanctioned RNG module.
+
+    Use ``repro.util.rng.resolve_rng(seed)`` for a generator and
+    ``spawn_child``/``children`` for independent worker streams; they are
+    the only blessed constructors.
+    """
+
+    rule_id = "RPL201"
+    rule_name = "unseeded-rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.config.is_rng_sanctioned(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_target(node, ctx)
+            if target is None or not target.startswith("np.random."):
+                continue
+            fn = target.removeprefix("np.random.")
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                rule_name=self.rule_name,
+                message=(
+                    f"direct np.random.{fn}(...) call — route through "
+                    "repro.util.rng (resolve_rng / spawn_child) so streams "
+                    "are seeded and worker-independent"
+                ),
+            )

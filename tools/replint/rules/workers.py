@@ -1,0 +1,110 @@
+"""Multiprocessing shared-state race detector (RPL301).
+
+Functions in worker modules (``worker_modules`` config: the multiprocessing
+backend and the parallel substrate) may be pickled and dispatched to pool
+workers.  Module-level mutable state touched inside such a function is a
+per-process copy: writes are silently lost on fork-per-task pools, stale
+under spawn, and racy under threads.  PR 1's fork-time span-rooting bug in
+``mp_backend`` was exactly this class of defect.
+
+The rule flags every read or write of a module-level name bound to a
+mutable container (dict/list/set display or constructor call) from inside
+any function in a worker module.  The sanctioned pool-initializer pattern
+(state installed once per worker process by ``Pool(initializer=...)``)
+stays, explicitly acknowledged with a per-line suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from replint.findings import Finding
+from replint.rules.base import FileContext, dotted_name, walk_functions
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "defaultdict",
+        "collections.deque",
+        "deque",
+        "collections.Counter",
+        "Counter",
+        "collections.OrderedDict",
+        "OrderedDict",
+    }
+)
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _module_level_mutables(tree: ast.Module) -> dict[str, int]:
+    """Name -> definition line for module-level mutable bindings."""
+    out: dict[str, int] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: "ast.expr | None" = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = stmt.lineno
+    return out
+
+
+class WorkerSharedStateRule:
+    """RPL301: module-level mutable state used inside a worker-module function.
+
+    Pass the state through function arguments (or the pool initializer
+    pattern, suppressed explicitly) instead of reaching for module globals —
+    under ``multiprocessing`` each worker has its own copy and writes do not
+    propagate back.
+    """
+
+    rule_id = "RPL301"
+    rule_name = "worker-shared-state"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.is_worker_module(ctx.path):
+            return
+        mutables = _module_level_mutables(ctx.tree)
+        if not mutables:
+            return
+        for func in walk_functions(ctx.tree):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    hits = [n for n in node.names if n in mutables]
+                    for name in hits:
+                        yield self._finding(ctx, node.lineno, node.col_offset, name, func.name)
+                elif isinstance(node, ast.Name) and node.id in mutables:
+                    yield self._finding(ctx, node.lineno, node.col_offset, node.id, func.name)
+
+    def _finding(
+        self, ctx: FileContext, line: int, col: int, name: str, func: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            rule_name=self.rule_name,
+            message=(
+                f"module-level mutable {name!r} accessed in {func}() — "
+                "worker processes each see a private copy; pass state "
+                "explicitly or suppress at the sanctioned initializer"
+            ),
+        )
