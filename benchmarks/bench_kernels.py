@@ -9,16 +9,24 @@ regressions.
 
 from __future__ import annotations
 
+import json
+import time
+
 import numpy as np
 import pytest
+from conftest import OUTPUT_DIR, record
 
 from repro.calling.lrt import lrt_statistic_diploid, lrt_statistic_monoploid
 from repro.index.hashindex import GenomeIndex
 from repro.memory.base import make_accumulator
+from repro.observability import scope
+from repro.phmm.banded import BandSpec, backward_banded, forward_banded
 from repro.phmm.forward_backward import backward_batch, emissions_batch, forward_batch
 from repro.phmm.model import PHMMParams
 from repro.phmm.posterior import posteriors_batch
 from repro.phmm.pwm import pwm_from_codes
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
 from repro.simulate.genome_sim import GenomeSpec, simulate_genome
 
 B, N, M = 128, 62, 78
@@ -58,6 +66,82 @@ def test_bench_backward(benchmark, phmm_batch):
     params, _, _, pstar = phmm_batch
     bwd = benchmark(backward_batch, pstar, params)
     assert bwd.bM.shape == (B, N + 1, M + 1)
+
+
+def test_bench_forward_banded(benchmark, phmm_batch):
+    params, _, _, pstar = phmm_batch
+    band = BandSpec(n=N, m=M, center=8, width=10)
+    fwd = benchmark(forward_banded, pstar, params, band)
+    assert fwd.fM.shape == (B, N + 1, M + 1)
+
+
+def test_bench_backward_banded(benchmark, phmm_batch):
+    params, _, _, pstar = phmm_batch
+    band = BandSpec(n=N, m=M, center=8, width=10)
+    bwd = benchmark(backward_banded, pstar, params, band)
+    assert bwd.bM.shape == (B, N + 1, M + 1)
+
+
+def test_banded_vs_full_pipeline(scaling_workload):
+    """End-to-end banded-vs-full comparison on the Fig. 4 workload.
+
+    Not a pytest-benchmark target (single run each way): the payload is the
+    DP-cell ledger and the call-identity check, persisted as
+    ``BENCH_kernels.json`` for CI to publish.  Banding at defaults must cut
+    DP cells >= 3x while leaving the SNP output untouched.
+    """
+    wl = scaling_workload
+
+    def run(config):
+        with scope() as reg:
+            t0 = time.perf_counter()
+            result = GnumapSnp(wl.reference, config).run(wl.reads)
+            wall = time.perf_counter() - t0
+            counters = reg.snapshot().counters
+        return result, counters, wall
+
+    full_res, full_c, full_wall = run(PipelineConfig())
+    band_res, band_c, band_wall = run(PipelineConfig(band_mode="adaptive"))
+
+    full_cells = full_c["phmm.cells_full"]
+    banded_cells = band_c.get("phmm.cells_banded", 0)
+    escape_cells = band_c.get("phmm.cells_full", 0)
+    ratio = full_cells / (banded_cells + escape_cells)
+
+    full_calls = [(s.pos, s.ref_name, s.alt_name) for s in full_res.snps]
+    band_calls = [(s.pos, s.ref_name, s.alt_name) for s in band_res.snps]
+    assert band_calls == full_calls, "banding changed the SNP output"
+    assert ratio >= 3.0, f"banded cell reduction {ratio:.2f}x < 3x"
+
+    payload = {
+        "workload": {"reads": wl.n_reads, "genome_bp": len(wl.reference)},
+        "full": {
+            "cells": int(full_cells),
+            "wall_seconds": full_wall,
+            "reads_per_second": wl.n_reads / full_wall,
+            "snps": len(full_calls),
+        },
+        "banded": {
+            "cells_banded": int(banded_cells),
+            "cells_full_escapes": int(escape_cells),
+            "escapes": int(band_c.get("phmm.band_escapes", 0)),
+            "wall_seconds": band_wall,
+            "reads_per_second": wl.n_reads / band_wall,
+            "snps": len(band_calls),
+        },
+        "cell_reduction": ratio,
+        "calls_identical": band_calls == full_calls,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "BENCH_kernels.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    record(
+        "Banded kernels",
+        f"full: {full_cells:,} cells in {full_wall:.1f}s | "
+        f"banded: {banded_cells + escape_cells:,} cells in {band_wall:.1f}s "
+        f"({band_c.get('phmm.band_escapes', 0)} escapes) | "
+        f"reduction {ratio:.2f}x | calls identical: {band_calls == full_calls}",
+    )
 
 
 def test_bench_posteriors(benchmark, phmm_batch):

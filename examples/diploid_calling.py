@@ -9,7 +9,7 @@ hypothesis pair (Eq. 2), where the heterozygous alternative frees the top
     python examples/diploid_calling.py
 """
 
-from repro import GnumapSnp, PipelineConfig, build_workload
+from repro import Engine, PipelineConfig, build_workload
 from repro.calling.caller import CallerConfig
 from repro.evaluation.metrics import compare_to_truth
 
@@ -23,7 +23,7 @@ def main() -> None:
     )
 
     config = PipelineConfig(caller=CallerConfig(ploidy=2))
-    result = GnumapSnp(wl.reference, config).run(wl.reads)
+    result = Engine(wl.reference, config).run(wl.reads)
 
     print(f"called {len(result.snps)} variant sites:")
     het_correct = 0

@@ -12,11 +12,9 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import GnumapSnp, PipelineConfig, build_workload
-from repro.calling.records import write_snp_calls
-from repro.genome.fasta import read_fasta, write_fasta
+from repro import Engine, PipelineConfig, build_workload
+from repro.genome.fasta import write_fasta
 from repro.genome.fastq import read_fastq, write_fastq
-from repro.genome.reference import Reference
 
 
 def main() -> None:
@@ -34,17 +32,15 @@ def main() -> None:
     print(f"inputs written to {out_dir}")
 
     # --- the analysis, from files only ---
-    records = read_fasta(ref_path)
-    name, codes = next(iter(records.items()))
-    reference = Reference(codes, name=name)
+    engine = Engine.from_fasta(str(ref_path), PipelineConfig())
     reads = read_fastq(reads_path)
-    print(f"loaded {len(reference):,} bp reference and {len(reads):,} reads")
+    print(f"loaded {len(engine.reference):,} bp reference and "
+          f"{len(reads):,} reads")
 
-    pipeline = GnumapSnp(reference, PipelineConfig())
-    result = pipeline.run(reads)
+    result = engine.run(reads)
 
     report_path = out_dir / "snps.tsv"
-    n = write_snp_calls(report_path, result.snps)
+    n = result.write_tsv(str(report_path))
     print(f"wrote {n} SNP calls to {report_path}")
     for line in report_path.read_text().splitlines()[:6]:
         print("   ", line)

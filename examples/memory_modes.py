@@ -10,7 +10,7 @@ paper's chrX/human genome sizes.
 
 import time
 
-from repro import GnumapSnp, PipelineConfig, build_workload
+from repro import Engine, PipelineConfig, build_workload
 from repro.evaluation.metrics import compare_to_truth
 from repro.memory.footprint import CHRX_LENGTH, HUMAN_LENGTH, FootprintModel
 
@@ -27,9 +27,9 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for mode in ("NORM", "CHARDISC", "CENTDISC", "CENTDISC_WEIGHTED"):
-        pipeline = GnumapSnp(wl.reference, PipelineConfig(accumulator=mode))
+        engine = Engine(wl.reference, PipelineConfig(accumulator=mode))
         t0 = time.perf_counter()
-        result = pipeline.run(wl.reads)
+        result = engine.run(wl.reads)
         wall = time.perf_counter() - t0
         counts = compare_to_truth(result.snps, wl.catalog)
         print(

@@ -13,7 +13,10 @@ evidence distribution side by side.
 
 from repro import PipelineConfig
 from repro.genome.variants import Variant, VariantCatalog, apply_variants
-from repro.pipeline.gnumap import GnumapSnp
+
+# Deliberately the deprecated constructor (new code: repro.api.Engine) —
+# this example doubles as a living check that the 1.x shim keeps working.
+from repro import GnumapSnp
 from repro.pipeline.paired import PairedConfig, PairedGnumap
 from repro.simulate.genome_sim import GenomeSpec, simulate_genome
 from repro.simulate.paired import PairedReadSimSpec, PairedReadSimulator

@@ -8,7 +8,7 @@ correctness check against the serial pipeline — a miniature Fig. 4.
     python examples/parallel_scaling.py
 """
 
-from repro import GnumapSnp, PipelineConfig, build_workload
+from repro import Engine, PipelineConfig, build_workload
 from repro.parallel import Cluster, LogGPModel
 from repro.pipeline import (
     ComputeCalibration,
@@ -23,7 +23,7 @@ def main() -> None:
     config = PipelineConfig()
     print(f"workload: {len(wl.reference):,} bp, {wl.n_reads:,} reads")
 
-    serial = GnumapSnp(wl.reference, config).run(wl.reads)
+    serial = Engine(wl.reference, config).run(wl.reads)
     serial_snps = {(s.pos, s.alt_name) for s in serial.snps}
     print(f"serial pipeline called {len(serial_snps)} SNPs\n")
 

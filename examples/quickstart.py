@@ -2,12 +2,13 @@
 """Quickstart: simulate a small genome, plant SNPs, call them back.
 
 Runs in ~15 s on one core.  Demonstrates the core public API:
-workload building, the GNUMAP-SNP pipeline, and truth-set evaluation.
+workload building, the :class:`repro.api.Engine` facade, and truth-set
+evaluation.
 
     python examples/quickstart.py
 """
 
-from repro import GnumapSnp, PipelineConfig, build_workload
+from repro import Engine, PipelineConfig, build_workload
 from repro.evaluation.metrics import compare_to_truth
 
 def main() -> None:
@@ -21,8 +22,10 @@ def main() -> None:
 
     # The pipeline: k-mer seeding -> quality-aware Pair-HMM marginal
     # alignment -> evidence accumulation -> likelihood-ratio test.
-    pipeline = GnumapSnp(wl.reference, PipelineConfig())
-    result = pipeline.run(wl.reads)
+    # band_mode="adaptive" fills only a band around each seed diagonal,
+    # escaping to the full kernels wherever the band assumption breaks.
+    engine = Engine(wl.reference, PipelineConfig(band_mode="adaptive"))
+    result = engine.run(wl.reads)
 
     print(f"\nmapped {result.stats.n_mapped}/{result.stats.n_reads} reads "
           f"({result.stats.n_pairs} candidate alignments)")

@@ -1,16 +1,17 @@
 """repro — reproduction of "Parallel Pair-HMM SNP Detection" (IPPS 2012).
 
 GNUMAP-SNP rebuilt as a Python library: a quality-aware Pair-HMM read
-aligner with marginal (forward-backward) base evidence, an LRT SNP caller
-with Bonferroni/FDR cutoffs, three genome-accumulator memory modes
-(NORM / CHARDISC / CENTDISC), and the paper's two MPI parallelisation
-strategies running over a simulated (virtual-time) cluster substrate.
+aligner with marginal (forward-backward) base evidence — full or seed-guided
+banded DP fills — an LRT SNP caller with Bonferroni/FDR cutoffs, three
+genome-accumulator memory modes (NORM / CHARDISC / CENTDISC), and the
+paper's two MPI parallelisation strategies running over a simulated
+(virtual-time) cluster substrate.
 
-Quickstart::
+Quickstart — :class:`repro.api.Engine` is the public entry point::
 
-    from repro import build_workload, GnumapSnp, PipelineConfig
+    from repro import Engine, PipelineConfig, build_workload
     wl = build_workload(scale="tiny")
-    result = GnumapSnp(wl.reference, PipelineConfig()).run(wl.reads)
+    result = Engine(wl.reference, PipelineConfig()).run(wl.reads)
     for snp in result.snps:
         print(snp.pos, snp.ref_name, "->", snp.alt_name)
 
@@ -18,15 +19,52 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 table/figure reproductions.
 """
 
+import warnings
+
+from repro.api import CallResult, Engine
 from repro.experiments.workload import Workload, build_workload
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
 from repro.genome.variants import Variant, VariantCatalog
 from repro.phmm.model import PHMMParams
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.gnumap import GnumapSnp, PipelineResult
+from repro.pipeline.gnumap import GnumapSnp as _GnumapSnpImpl
+from repro.pipeline.gnumap import MappingStats, PipelineResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+class GnumapSnp(_GnumapSnpImpl):
+    """Deprecated alias of the serial pipeline driver.
+
+    Kept so existing callers keep working; new code should use
+    :class:`repro.api.Engine`, which exposes the same ``map_reads`` /
+    ``call_snps`` / ``run`` workflow behind one stable facade (and adds
+    multiprocessing dispatch).  This shim will be removed in 2.0.
+    """
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        warnings.warn(
+            "repro.GnumapSnp is deprecated; use repro.api.Engine instead "
+            "(Engine(reference, config).run(reads) / .map_reads() / .call())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+
+
+def run_multiprocessing(*args: object, **kwargs: object) -> PipelineResult:
+    """Deprecated top-level alias; use ``Engine.run(reads, workers=n)``."""
+    warnings.warn(
+        "repro.run_multiprocessing is deprecated; use "
+        "repro.api.Engine(reference, config).run(reads, workers=n) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.pipeline.mp_backend import run_multiprocessing as _impl
+
+    return _impl(*args, **kwargs)  # type: ignore[arg-type]
+
 
 __all__ = [
     "Workload",
@@ -37,7 +75,11 @@ __all__ = [
     "VariantCatalog",
     "PHMMParams",
     "PipelineConfig",
+    "Engine",
+    "CallResult",
+    "MappingStats",
     "GnumapSnp",
     "PipelineResult",
+    "run_multiprocessing",
     "__version__",
 ]

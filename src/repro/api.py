@@ -1,0 +1,181 @@
+"""The public facade: one entry point for mapping and SNP calling.
+
+Historically the repository grew three overlapping ways to run the pipeline:
+constructing :class:`~repro.pipeline.gnumap.GnumapSnp` directly, calling
+:func:`~repro.pipeline.mp_backend.run_multiprocessing`, and the CLI's private
+wiring.  :class:`Engine` collapses them: it binds a reference genome and a
+:class:`~repro.pipeline.config.PipelineConfig` once, exposes the pipeline's
+three verbs, and picks the serial or multiprocessing backend per call.
+
+    from repro.api import Engine
+
+    engine = Engine(reference)               # or Engine.from_fasta("ref.fa")
+    result = engine.run(reads, workers=4)    # map + call, one CallResult
+    for snp in result.snps:
+        print(snp.pos, snp.ref_name, "->", snp.alt_name)
+
+Staged use — accumulate evidence over several read batches (online / sharded
+ingest), then call once::
+
+    engine.map_reads(batch_a)
+    engine.map_reads(batch_b)        # same accumulator keeps filling
+    result = engine.call()
+
+The old constructors still work but raise :class:`DeprecationWarning`; see
+``repro.__init__`` for the shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calling.records import SNPCall, write_snp_calls
+from repro.errors import PipelineError
+from repro.genome.fastq import Read
+from repro.genome.reference import Reference
+from repro.memory.base import Accumulator
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult
+from repro.util.timers import TimerRegistry
+
+__all__ = ["CallResult", "Engine", "MappingStats"]
+
+
+@dataclass
+class CallResult:
+    """Everything one mapping+calling run produced.
+
+    Attributes
+    ----------
+    snps:
+        Significant SNP calls, sorted by position.
+    stats:
+        Mapping-stage counters (reads, pairs, batches).
+    accumulator:
+        The genome evidence the calls were made from (reusable for
+        re-calling under a different caller configuration).
+    timers:
+        Flat per-stage wall-clock view mirrored from the run's spans.
+    """
+
+    snps: list[SNPCall]
+    stats: MappingStats
+    accumulator: Accumulator
+    timers: TimerRegistry = field(default_factory=TimerRegistry)
+
+    @property
+    def reads_per_second(self) -> float:
+        """Mapping throughput (reads / seed+align+accumulate seconds)."""
+        mapping = sum(
+            self.timers[k].elapsed for k in ("seed", "align", "accumulate")
+            if k in self.timers
+        )
+        return self.stats.n_reads / mapping if mapping > 0 else 0.0
+
+    def write_tsv(self, path: str) -> int:
+        """Write the SNP calls as the standard TSV; returns rows written."""
+        return write_snp_calls(path, self.snps)
+
+    @classmethod
+    def from_pipeline_result(cls, result: PipelineResult) -> "CallResult":
+        return cls(
+            snps=result.snps,
+            stats=result.stats,
+            accumulator=result.accumulator,
+            timers=result.timers,
+        )
+
+
+class Engine:
+    """The one public entry point: a reference genome bound to a config.
+
+    Construction builds the k-mer index once; ``map_reads``/``call``/``run``
+    reuse it.  The engine owns an evidence accumulator so mapping can be
+    staged across calls; ``run`` is stateless (fresh accumulator per call)
+    and is the right verb for one-shot batch work.
+    """
+
+    def __init__(self, reference: Reference, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        self._pipeline = GnumapSnp(reference, self.config)
+        self._accumulator: Accumulator | None = None
+        self._stats = MappingStats()
+        self._timers = TimerRegistry()
+
+    @classmethod
+    def from_fasta(
+        cls, path: str, config: PipelineConfig | None = None
+    ) -> "Engine":
+        """Build an engine from a single-record reference FASTA file."""
+        from repro.genome.fasta import read_fasta
+
+        records = read_fasta(path)
+        if len(records) != 1:
+            raise PipelineError(
+                f"expected a single-record reference FASTA, got {len(records)}"
+            )
+        name, codes = next(iter(records.items()))
+        return cls(Reference(codes, name=name), config)
+
+    @property
+    def reference(self) -> Reference:
+        return self._pipeline.reference
+
+    @property
+    def pipeline(self) -> GnumapSnp:
+        """The underlying serial pipeline (index, seeder, caller)."""
+        return self._pipeline
+
+    # -- staged verbs -----------------------------------------------------------
+    def map_reads(self, reads: "list[Read]") -> MappingStats:
+        """Align ``reads`` and fold their evidence into the engine's
+        accumulator; returns the cumulative mapping stats.
+
+        Call repeatedly to accumulate evidence online; ``call()`` consumes
+        whatever has been accumulated so far.
+        """
+        if self._accumulator is None:
+            self._accumulator = self._pipeline.new_accumulator()
+        _, stats = self._pipeline.map_reads(
+            reads, accumulator=self._accumulator, timers=self._timers
+        )
+        self._stats.merge(stats)
+        return self._stats
+
+    def call(self) -> CallResult:
+        """LRT over the evidence accumulated by ``map_reads`` so far."""
+        if self._accumulator is None:
+            raise PipelineError("call() before map_reads(): no evidence yet")
+        snps = self._pipeline.call_snps(self._accumulator, timers=self._timers)
+        return CallResult(
+            snps=snps,
+            stats=self._stats,
+            accumulator=self._accumulator,
+            timers=self._timers,
+        )
+
+    def reset(self) -> None:
+        """Drop accumulated evidence and stats (start a fresh staged run)."""
+        self._accumulator = None
+        self._stats = MappingStats()
+        self._timers = TimerRegistry()
+
+    # -- one-shot verb ----------------------------------------------------------
+    def run(self, reads: "list[Read]", workers: int = 1) -> CallResult:
+        """Full pipeline over ``reads`` with a fresh accumulator.
+
+        ``workers > 1`` maps across that many real processes (identical
+        output to serial; the reduction is order-deterministic).  Does not
+        touch the engine's staged accumulator.
+        """
+        if workers < 1:
+            raise PipelineError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            result = self._pipeline.run(reads)
+        else:
+            from repro.pipeline.mp_backend import run_multiprocessing
+
+            result = run_multiprocessing(
+                self.reference, reads, self.config, n_workers=workers
+            )
+        return CallResult.from_pipeline_result(result)

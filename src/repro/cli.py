@@ -49,40 +49,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_call(args: argparse.Namespace) -> int:
+    from repro.api import Engine
     from repro.calling.caller import CallerConfig
-    from repro.calling.records import write_snp_calls
-    from repro.genome.fasta import read_fasta
     from repro.genome.fastq import read_fastq
-    from repro.genome.reference import Reference
     from repro.pipeline.config import PipelineConfig
-    from repro.pipeline.gnumap import GnumapSnp
 
-    records = read_fasta(args.reference)
-    if len(records) != 1:
-        raise ReproError(
-            f"expected a single-record reference FASTA, got {len(records)}"
-        )
-    name, codes = next(iter(records.items()))
-    reference = Reference(codes, name=name)
-    reads = read_fastq(args.reads)
     config = PipelineConfig(
         k=args.k,
         accumulator=args.accumulator,
+        band_mode=args.band_mode,
+        band_w=args.band_width,
+        band_tolerance=args.band_tolerance,
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
     )
-    if args.workers < 1:
-        raise ReproError(f"--workers must be >= 1, got {args.workers}")
-    if args.workers > 1:
-        from repro.pipeline.mp_backend import run_multiprocessing
-
-        result = run_multiprocessing(
-            reference, reads, config, n_workers=args.workers
-        )
-    else:
-        pipeline = GnumapSnp(reference, config)
-        result = pipeline.run(reads)
-    n = write_snp_calls(args.output, result.snps)
+    engine = Engine.from_fasta(args.reference, config)
+    reads = read_fastq(args.reads)
+    result = engine.run(reads, workers=args.workers)
+    n = result.write_tsv(args.output)
     print(
         f"mapped {result.stats.n_mapped}/{result.stats.n_reads} reads; "
         f"wrote {n} SNP calls -> {args.output}"
@@ -90,13 +74,15 @@ def _cmd_call(args: argparse.Namespace) -> int:
     if args.vcf:
         from repro.calling.vcf import write_vcf
 
-        written, skipped = write_vcf(args.vcf, result.snps, contig=name)
+        written, skipped = write_vcf(
+            args.vcf, result.snps, contig=engine.reference.name
+        )
         print(f"wrote {written} VCF records -> {args.vcf}")
     if args.report:
         from repro.evaluation.report import run_report
 
         with open(args.report, "w") as fh:
-            fh.write(run_report(result, reference))
+            fh.write(run_report(result, engine.reference))
         print(f"wrote run report -> {args.report}")
     if args.verbose:
         from repro.observability import current, format_metrics_report
@@ -107,26 +93,25 @@ def _cmd_call(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    from repro.genome.fasta import read_fasta
+    from repro.api import Engine
     from repro.genome.fastq import read_fastq
-    from repro.genome.reference import Reference
     from repro.io.sam import collect_placements, write_sam
     from repro.pipeline.config import PipelineConfig
-    from repro.pipeline.gnumap import GnumapSnp
 
-    records = read_fasta(args.reference)
-    if len(records) != 1:
-        raise ReproError(
-            f"expected a single-record reference FASTA, got {len(records)}"
-        )
-    name, codes = next(iter(records.items()))
-    reference = Reference(codes, name=name)
-    reads = read_fastq(args.reads)
-    pipeline = GnumapSnp(reference, PipelineConfig(k=args.k))
-    placements = collect_placements(
-        pipeline, reads, max_secondary=args.max_secondary
+    config = PipelineConfig(
+        k=args.k,
+        band_mode=args.band_mode,
+        band_w=args.band_width,
+        band_tolerance=args.band_tolerance,
     )
-    n = write_sam(args.output, placements, name, len(reference))
+    engine = Engine.from_fasta(args.reference, config)
+    reads = read_fastq(args.reads)
+    placements = collect_placements(
+        engine.pipeline, reads, max_secondary=args.max_secondary
+    )
+    n = write_sam(
+        args.output, placements, engine.reference.name, len(engine.reference)
+    )
     primary = sum(1 for p in placements if p.is_primary)
     print(
         f"placed {primary}/{len(reads)} reads "
@@ -191,6 +176,32 @@ def _add_metrics_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_band_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--band-mode",
+        default="off",
+        choices=["off", "fixed", "adaptive"],
+        help="banded Pair-HMM fills around each candidate's seed diagonal: "
+        "'fixed' trusts the band, 'adaptive' re-runs the full kernels for "
+        "pairs whose posterior mass leaks past the band edge (default: off)",
+    )
+    p.add_argument(
+        "--band-width",
+        type=int,
+        default=10,
+        metavar="W",
+        help="half-width of the DP band in diagonals (default: 10)",
+    )
+    p.add_argument(
+        "--band-tolerance",
+        type=float,
+        default=1e-4,
+        metavar="TOL",
+        help="band-edge posterior mass per read base that triggers the "
+        "adaptive full-kernel escape (default: 1e-4)",
+    )
+
+
 def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--sanitize",
@@ -237,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--workers", type=int, default=1,
                         help="map reads across this many processes")
     p_call.add_argument("-v", "--verbose", action="store_true")
+    _add_band_args(p_call)
     _add_metrics_arg(p_call)
     _add_sanitize_arg(p_call)
     p_call.set_defaults(func=_cmd_call)
@@ -247,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-o", "--output", default="alignments.sam")
     p_map.add_argument("--k", type=int, default=10)
     p_map.add_argument("--max-secondary", type=int, default=4)
+    _add_band_args(p_map)
     _add_metrics_arg(p_map)
     _add_sanitize_arg(p_map)
     p_map.set_defaults(func=_cmd_map)

@@ -33,17 +33,29 @@ class CandidateRegion:
         +1: the read as given aligns forward; -1: its reverse complement does.
     support:
         Number of distinct read k-mers voting for this diagonal.
+    diagonal:
+        The winning (unclamped) seed diagonal ``g - r`` this candidate came
+        from.  ``start`` is this value clipped into the genome; the banded
+        kernels use ``diagonal`` to centre their band, so edge-clamped
+        candidates still band around the true seed path.  ``None`` on
+        hand-built candidates means "centre on ``start``".
     """
 
     start: int
     strand: int
     support: int
+    diagonal: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.strand not in (-1, 1):
             raise IndexError_(f"strand must be +-1, got {self.strand}")
         if self.support < 1:
             raise IndexError_("candidate support must be >= 1")
+
+    @property
+    def band_diagonal(self) -> int:
+        """Seed diagonal to centre a band on (falls back to ``start``)."""
+        return self.start if self.diagonal is None else self.diagonal
 
 
 @dataclass
@@ -148,6 +160,8 @@ class Seeder:
                 continue
             start = min(max(rep, -(codes.size - 1)), glen - 1)
             out.append(
-                CandidateRegion(start=start, strand=strand, support=total_votes)
+                CandidateRegion(
+                    start=start, strand=strand, support=total_votes, diagonal=rep
+                )
             )
         return out

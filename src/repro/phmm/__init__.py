@@ -9,6 +9,10 @@ Layout
     extension" that makes emissions quality-aware).
 ``forward_backward``
     Batched, row-vectorised, scaled forward/backward dynamic programmes.
+``banded``
+    Seed-guided banded variants of the same DP: fill only a configurable
+    band around each candidate's seed diagonal, with posterior band-edge
+    accounting that drives the adaptive full-kernel escape hatch.
 ``reference_impl``
     Slow, loop-based log-space implementation used as the numerical oracle in
     tests (never in the pipeline).
@@ -27,8 +31,19 @@ Layout
 from repro.phmm.model import PHMMParams
 from repro.phmm.pwm import pwm_from_read, reverse_complement_pwm
 from repro.phmm.forward_backward import forward_batch, backward_batch
+from repro.phmm.banded import (
+    BandSpec,
+    band_edge_mass,
+    backward_banded,
+    forward_banded,
+)
 from repro.phmm.posterior import PosteriorResult, posteriors_batch
-from repro.phmm.alignment import AlignmentOutcome, align_batch, align_read
+from repro.phmm.alignment import (
+    AlignmentOutcome,
+    align_batch,
+    align_batch_banded,
+    align_read,
+)
 from repro.phmm.scoring import normalize_location_weights
 from repro.phmm.training import FitResult, fit_transitions
 from repro.phmm.viterbi import viterbi_align
@@ -39,10 +54,15 @@ __all__ = [
     "reverse_complement_pwm",
     "forward_batch",
     "backward_batch",
+    "BandSpec",
+    "band_edge_mass",
+    "backward_banded",
+    "forward_banded",
     "PosteriorResult",
     "posteriors_batch",
     "AlignmentOutcome",
     "align_batch",
+    "align_batch_banded",
     "align_read",
     "normalize_location_weights",
     "FitResult",

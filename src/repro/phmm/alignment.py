@@ -15,7 +15,9 @@ import numpy as np
 
 from repro.errors import AlignmentError
 from repro.genome.alphabet import N as CODE_N
+from repro.observability import current as metrics
 from repro.phmm import sanitize
+from repro.phmm.banded import BandSpec, backward_banded, band_edge_mass, forward_banded
 from repro.phmm.forward_backward import (
     backward_batch,
     emissions_batch,
@@ -114,6 +116,146 @@ def align_batch(
         sanitize.check_z(z, valid)
     return AlignmentOutcome(
         z=z, loglik=fwd.loglik, occupancy=post.occupancy, posterior=post
+    )
+
+
+def align_batch_banded(
+    pwms: np.ndarray,
+    windows: np.ndarray,
+    params: PHMMParams,
+    centers: np.ndarray,
+    band_w: int,
+    tolerance: float = 1e-4,
+    adaptive: bool = True,
+    mode: str = "semiglobal",
+    edge_policy: str = "mass",
+    valid: np.ndarray | None = None,
+    groups: np.ndarray | None = None,
+    escape_min_ratio: float = 0.0,
+) -> AlignmentOutcome:
+    """Banded alignment of a batch, with an optional full-kernel escape hatch.
+
+    Pairs are bucketed by their seed-diagonal ``center`` (window column the
+    read's first base is expected at) so each bucket runs one vectorized
+    banded fill; in the pipeline all candidates of a batch share one center,
+    so bucketing is usually a single pass.  With ``adaptive=True`` any pair
+    whose posterior band-edge mass exceeds ``tolerance`` — or whose banded
+    likelihood collapsed to ``-inf`` — is re-run through the full kernels
+    (counted under ``phmm.band_escapes``), so evidence stays faithful where
+    the band assumption breaks.  ``adaptive=False`` (band_mode="fixed")
+    trusts the band unconditionally.
+
+    ``groups``/``escape_min_ratio`` prune pointless escapes: when the per-pair
+    read grouping is supplied, a pair only escapes if its banded likelihood is
+    within ``escape_min_ratio`` of its group's best (the same ratio the
+    multiread weighting applies downstream) — candidates that would receive
+    zero mapping weight regardless are not worth a full re-fill.  Groups whose
+    *best* banded likelihood is ``-inf`` escape wholesale: the band saw
+    nothing, so the full kernels arbitrate.
+    """
+    pwms = np.asarray(pwms, dtype=np.float64)
+    windows = np.asarray(windows)
+    centers = np.asarray(centers, dtype=np.int64)
+    if pwms.ndim != 3:
+        raise AlignmentError(f"pwms must be (B, N, 4), got {pwms.shape}")
+    B, N = pwms.shape[0], pwms.shape[1]
+    if windows.ndim != 2 or windows.shape[0] != B:
+        raise AlignmentError(
+            f"windows must be (B, M) matching pwms batch, got {windows.shape}"
+        )
+    M = windows.shape[1]
+    if centers.shape != (B,):
+        raise AlignmentError(
+            f"centers must be ({B},) matching the batch, got {centers.shape}"
+        )
+    if band_w < 1:
+        raise AlignmentError(f"band_w must be >= 1, got {band_w}")
+    if not 0.0 <= tolerance < 1.0:
+        raise AlignmentError(f"tolerance must be in [0, 1), got {tolerance}")
+
+    z = np.empty((B, M, 5))
+    loglik = np.empty(B)
+    occupancy = np.empty((B, M))
+    base_mass = np.empty((B, M, 4))
+    gap_mass = np.empty((B, M))
+    ins_mass = np.empty((B, M))
+    match_posterior = np.empty((B, N, M))
+    escaped = np.zeros(B, dtype=bool)
+
+    for center in np.unique(centers):
+        sel = np.nonzero(centers == center)[0]
+        sub_pwms = pwms[sel]
+        sub_windows = windows[sel]
+        pstar = emissions_batch(sub_pwms, sub_windows, params)
+        if sanitize.enabled():
+            sanitize.check_emissions(pstar)
+        band = BandSpec(n=N, m=M, center=int(center), width=band_w)
+        fwd = forward_banded(pstar, params, band, mode=mode)
+        bwd = backward_banded(pstar, params, band, mode=mode)
+        post = posteriors_batch(pstar, sub_pwms, sub_windows, fwd, bwd, params)
+        if adaptive:
+            edge = band_edge_mass(post.match_posterior, band)
+            escaped[sel] = (edge > tolerance) | ~np.isfinite(fwd.loglik)
+        sub_z = z_vectors(post, edge_policy=edge_policy)
+        z[sel] = sub_z
+        loglik[sel] = fwd.loglik
+        occupancy[sel] = post.occupancy
+        base_mass[sel] = post.base_mass
+        gap_mass[sel] = post.gap_mass
+        ins_mass[sel] = post.ins_mass
+        match_posterior[sel] = post.match_posterior
+
+    if groups is not None and escape_min_ratio > 0.0 and escaped.any():
+        groups_arr = np.asarray(groups, dtype=np.int64)
+        if groups_arr.shape != (B,):
+            raise AlignmentError(
+                f"groups must be ({B},) matching the batch, got {groups_arr.shape}"
+            )
+        best = np.full(int(groups_arr.max()) + 1, -np.inf)
+        np.maximum.at(best, groups_arr, loglik)
+        group_best = best[groups_arr]
+        with np.errstate(invalid="ignore"):
+            competitive = loglik - group_best >= np.log(escape_min_ratio)
+        escaped &= competitive | ~np.isfinite(group_best)
+
+    esc = np.nonzero(escaped)[0]
+    if esc.size:
+        metrics().inc("phmm.band_escapes", int(esc.size))
+        full = align_batch(
+            pwms[esc],
+            windows[esc],
+            params,
+            mode=mode,
+            edge_policy=edge_policy,
+            valid=None,
+        )
+        z[esc] = full.z
+        loglik[esc] = full.loglik
+        occupancy[esc] = full.occupancy
+        base_mass[esc] = full.posterior.base_mass
+        gap_mass[esc] = full.posterior.gap_mass
+        ins_mass[esc] = full.posterior.ins_mass
+        match_posterior[esc] = full.posterior.match_posterior
+
+    if valid is not None:
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape != windows.shape:
+            raise AlignmentError(
+                f"valid mask shape {valid.shape} != windows shape {windows.shape}"
+            )
+        z = z * valid[:, :, None]
+    if sanitize.enabled():
+        sanitize.check_z(z, valid)
+    posterior = PosteriorResult(
+        base_mass=base_mass,
+        gap_mass=gap_mass,
+        ins_mass=ins_mass,
+        occupancy=occupancy,
+        match_posterior=match_posterior,
+        loglik=loglik.copy(),
+    )
+    return AlignmentOutcome(
+        z=z, loglik=loglik, occupancy=occupancy, posterior=posterior
     )
 
 

@@ -137,6 +137,7 @@ def forward_batch(
     reg.inc("phmm.batches")
     reg.inc("phmm.pairs", B)
     reg.inc("phmm.forward_cells", B * N * M)
+    reg.inc("phmm.cells_full", B * N * M)
     q, TMM, TMG, TGM, TGG = params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG
 
     fM = np.zeros((B, N + 1, M + 1))
@@ -203,7 +204,9 @@ def backward_batch(
     B, N, M = pstar.shape
     if N == 0 or M == 0:
         raise AlignmentError("empty read or window")
-    metrics().inc("phmm.backward_cells", B * N * M)
+    reg = metrics()
+    reg.inc("phmm.backward_cells", B * N * M)
+    reg.inc("phmm.cells_full", B * N * M)
     q, TMM, TMG, TGM, TGG = params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG
 
     bM = np.zeros((B, N + 1, M + 1))

@@ -36,6 +36,7 @@ from repro.errors import SanitizerError
 from repro.observability.spans import current_path
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.phmm.banded import BandSpec
     from repro.phmm.forward_backward import BackwardResult, ForwardResult
 
 #: Tolerance for "sums to at most 1" style checks; scaled-probability
@@ -153,6 +154,33 @@ def check_z(z: np.ndarray, valid: "np.ndarray | None" = None) -> None:
             "per-position z mass exceeds 1 (posterior not normalised): "
             + _describe_bad(sums, bad),
         )
+
+
+def check_band(
+    sM: np.ndarray,
+    sGX: np.ndarray,
+    sGY: np.ndarray,
+    band: "BandSpec",
+    kind: str = "forward",
+) -> None:
+    """Band mass conservation: banded DP matrices are exactly zero outside
+    the band.
+
+    The banded kernels *never write* outside the band, so any non-zero mass
+    there means an index-arithmetic bug leaked probability across the band
+    boundary — the invariant the escape-hatch accounting rests on.
+    """
+    outside = band.outside_mask()[None, :, :]
+    for name, arr in (("M", sM), ("GX", sGX), ("GY", sGY)):
+        arr = np.asarray(arr)
+        bad = (arr != 0.0) & outside
+        if bad.any():
+            _fail(
+                f"band_{kind}",
+                f"state {name} has probability mass outside the band "
+                f"(center={band.center}, width={band.width}): "
+                + _describe_bad(arr, bad),
+            )
 
 
 def check_accumulator(evidence: np.ndarray, where: str = "accumulator") -> None:

@@ -50,6 +50,21 @@ class PipelineConfig:
         *all* alignments and locations) or "viterbi" (ablation: evidence
         from the single best alignment at the single best location, the
         philosophy of conventional mappers).
+    band_mode:
+        "off" (default — full O(N*M) fills), "fixed" (fill only a band of
+        half-width ``band_w`` around each candidate's seed diagonal,
+        unconditionally) or "adaptive" (banded, but pairs whose posterior
+        band-edge mass exceeds ``band_tolerance`` re-run the full kernels —
+        see :mod:`repro.phmm.banded`).  Banding applies to the marginal
+        posterior path; the viterbi ablation always runs full matrices.
+    band_w:
+        Band half-width in window columns; a row covers ``2*band_w + 1``
+        columns.  Must comfortably exceed the seeder's ``diagonal_slack``
+        plus the indel drift you expect inside one read.
+    band_tolerance:
+        Escape threshold for ``band_mode="adaptive"``: the fraction of a
+        read's posterior match mass allowed on band-created edge cells
+        before the pair is re-run full-width.
     """
 
     k: int = 10
@@ -61,6 +76,9 @@ class PipelineConfig:
     quality_aware: bool = True
     alignment_mode: str = "semiglobal"
     posterior_mode: str = "marginal"
+    band_mode: str = "off"
+    band_w: int = 10
+    band_tolerance: float = 1e-4
     max_index_positions_per_kmer: int | None = 64
     phmm: PHMMParams = field(default_factory=PHMMParams)
     seeder: SeederConfig = field(default_factory=SeederConfig)
@@ -85,3 +103,31 @@ class PipelineConfig:
             raise ConfigError(f"unknown alignment_mode {self.alignment_mode!r}")
         if self.posterior_mode not in ("marginal", "viterbi"):
             raise ConfigError(f"unknown posterior_mode {self.posterior_mode!r}")
+        if self.band_mode not in ("off", "fixed", "adaptive"):
+            raise ConfigError(
+                f"band_mode must be 'off', 'fixed' or 'adaptive', "
+                f"got {self.band_mode!r}"
+            )
+        if self.band_w < 1:
+            raise ConfigError(f"band_w must be >= 1, got {self.band_w}")
+        if not 0.0 <= self.band_tolerance < 1.0:
+            raise ConfigError(
+                f"band_tolerance must be in [0, 1), got {self.band_tolerance}"
+            )
+
+    @property
+    def banding(self) -> bool:
+        """Whether the marginal alignment path runs banded kernels."""
+        return self.band_mode != "off" and self.posterior_mode == "marginal"
+
+    def band_cell_fraction(self, read_len: int) -> float:
+        """Modelled fraction of full DP cells a banded fill computes.
+
+        Used by the cost model / virtual clocks to charge band-aware compute:
+        a band covers at most ``2*band_w + 1`` of the ``read_len + 2*pad``
+        window columns per row.  Returns 1.0 when banding is off.
+        """
+        if not self.banding or read_len <= 0:
+            return 1.0
+        width = read_len + 2 * self.pad
+        return min(1.0, (2 * self.band_w + 1) / width)

@@ -29,7 +29,7 @@ from repro.memory.base import Accumulator, make_accumulator
 from repro.observability import scope, span
 from repro.observability.snapshot import MetricsSnapshot
 from repro.phmm import sanitize
-from repro.phmm.alignment import align_batch, build_windows
+from repro.phmm.alignment import align_batch, align_batch_banded, build_windows
 from repro.phmm.pwm import flat_pwm, pwm_from_read, reverse_complement_pwm
 from repro.phmm.scoring import group_normalize
 from repro.pipeline.config import PipelineConfig
@@ -144,23 +144,27 @@ class GnumapSnp:
         batch_pwms: list[np.ndarray] = []
         batch_starts: list[int] = []
         batch_groups: list[int] = []
+        batch_centers: list[int] = []
         read_len: int | None = None
 
         with scope() as reg:
 
             def flush() -> None:
-                nonlocal batch_pwms, batch_starts, batch_groups
+                nonlocal batch_pwms, batch_starts, batch_groups, batch_centers
                 if not batch_pwms:
                     return
                 self._align_and_accumulate(
                     np.stack(batch_pwms),
                     np.asarray(batch_starts, dtype=np.int64),
                     np.asarray(batch_groups, dtype=np.int64),
+                    np.asarray(batch_centers, dtype=np.int64),
                     acc,
                 )
                 stats.n_batches += 1
                 reg.gauge_max("pipeline.peak_accumulator_bytes", acc.nbytes())
-                batch_pwms, batch_starts, batch_groups = [], [], []
+                batch_pwms, batch_starts, batch_groups, batch_centers = (
+                    [], [], [], [],
+                )
 
             with span("map_reads"):
                 for ridx, read in enumerate(reads):
@@ -191,9 +195,21 @@ class GnumapSnp:
                         batch_pwms.append(pwm)
                         batch_starts.append(cand.start)
                         batch_groups.append(ridx)
+                        # Window column the read's first base is expected at:
+                        # windows are cut at start - pad, so the seed diagonal
+                        # lands on column pad unless the seeder clamped start.
+                        batch_centers.append(
+                            cfg.pad + (cand.band_diagonal - cand.start)
+                        )
                     if len(batch_pwms) >= cfg.batch_size:
                         flush()
                 flush()
+            if read_len is not None:
+                # Band-aware work estimate: modelled DP-cell fraction per
+                # pair at this read length (1.0 when banding is off).
+                reg.gauge_max(
+                    "phmm.band_cell_fraction", cfg.band_cell_fraction(read_len)
+                )
             reg.inc("pipeline.reads", stats.n_reads)
             reg.inc("pipeline.reads_mapped", stats.n_mapped)
             reg.inc("pipeline.reads_unmapped", stats.n_unmapped)
@@ -208,6 +224,7 @@ class GnumapSnp:
         pwms: np.ndarray,
         starts: np.ndarray,
         groups: np.ndarray,
+        centers: np.ndarray,
         acc: Accumulator,
     ) -> None:
         cfg = self.config
@@ -221,14 +238,30 @@ class GnumapSnp:
                 z, loglik = self._viterbi_evidence(pwms, windows, valid)
                 weights = _one_hot_best(loglik, groups)
             else:
-                outcome = align_batch(
-                    pwms,
-                    windows,
-                    cfg.phmm,
-                    mode=cfg.alignment_mode,
-                    edge_policy=cfg.edge_policy,
-                    valid=valid,
-                )
+                if cfg.banding:
+                    outcome = align_batch_banded(
+                        pwms,
+                        windows,
+                        cfg.phmm,
+                        centers,
+                        cfg.band_w,
+                        tolerance=cfg.band_tolerance,
+                        adaptive=cfg.band_mode == "adaptive",
+                        mode=cfg.alignment_mode,
+                        edge_policy=cfg.edge_policy,
+                        valid=valid,
+                        groups=groups,
+                        escape_min_ratio=cfg.min_ratio,
+                    )
+                else:
+                    outcome = align_batch(
+                        pwms,
+                        windows,
+                        cfg.phmm,
+                        mode=cfg.alignment_mode,
+                        edge_policy=cfg.edge_policy,
+                        valid=valid,
+                    )
                 z = outcome.z
                 weights = group_normalize(
                     outcome.loglik, groups, min_ratio=cfg.min_ratio

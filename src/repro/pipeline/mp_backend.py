@@ -130,6 +130,11 @@ def run_multiprocessing(
         # One associative fold, then one coherent tree in this process.
         reg.absorb(merge_snapshots(*worker_snaps))
         reg.gauge_max("mp.workers", n_workers)
+        # Band-aware work estimate: the modelled fraction of full DP cells
+        # each worker fills per pair (1.0 with banding off) — lets metrics
+        # consumers reconcile wall time against cells actually charged.
+        mean_len = int(round(sum(len(r) for r in reads) / len(reads)))
+        reg.gauge_max("phmm.band_cell_fraction", config.band_cell_fraction(mean_len))
 
         if merged is None:  # no reads at all
             merged = pipe.new_accumulator()

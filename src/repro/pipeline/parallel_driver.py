@@ -37,7 +37,7 @@ from repro.observability import span
 from repro.parallel.comm import Comm
 from repro.parallel.partition import partition_reads_contiguous, take
 from repro.parallel.reduction import reduce_accumulator
-from repro.phmm.alignment import align_batch, build_windows
+from repro.phmm.alignment import align_batch, align_batch_banded, build_windows
 from repro.phmm.pwm import flat_pwm, pwm_from_read, reverse_complement_pwm
 from repro.pipeline.calibration import ComputeCalibration
 from repro.pipeline.config import PipelineConfig
@@ -50,6 +50,13 @@ class ParallelRunResult:
 
     snps: "list[SNPCall] | None"
     stats: "MappingStats | None"
+
+
+def _mean_read_len(reads: "list[Read]") -> int:
+    """Mean read length for band-aware work estimates (0 when empty)."""
+    if not reads:
+        return 0
+    return int(round(sum(len(r) for r in reads) / len(reads)))
 
 
 def run_read_spread(
@@ -70,7 +77,11 @@ def run_read_spread(
     acc, stats = pipe.map_reads(local_reads)
     if calibration:
         comm.account_compute(
-            calibration.mapping_seconds(stats.n_reads, stats.n_pairs)
+            calibration.mapping_seconds(
+                stats.n_reads,
+                stats.n_pairs,
+                cell_fraction=config.band_cell_fraction(_mean_read_len(local_reads)),
+            )
         )
 
     with span("reduce"):
@@ -290,6 +301,7 @@ def _process_read_batch(
     pwms: list[np.ndarray] = []
     starts: list[int] = []
     groups: list[int] = []
+    centers: list[int] = []
     n_local_pairs = 0
     n_seeded = 0
     # Per-read local log-likelihoods gathered for global normalisation.
@@ -318,11 +330,16 @@ def _process_read_batch(
             pwms.append(pwm)
             starts.append(cand.start)
             groups.append(b)
+            centers.append(config.pad + (cand.band_diagonal - cand.start))
             n_local_pairs += 1
 
     if calibration:
         comm.account_compute(
-            calibration.mapping_seconds(n_seeded, n_local_pairs)
+            calibration.mapping_seconds(
+                n_seeded,
+                n_local_pairs,
+                cell_fraction=config.band_cell_fraction(_mean_read_len(batch)),
+            )
         )
 
     if pwms:
@@ -335,14 +352,30 @@ def _process_read_batch(
         pwm_arr = np.stack(pwms)
         start_arr = np.asarray(starts, dtype=np.int64)
         windows, valid = build_windows(local_ref.codes, start_arr - config.pad, width)
-        outcome = align_batch(
-            pwm_arr,
-            windows,
-            config.phmm,
-            mode=config.alignment_mode,
-            edge_policy=config.edge_policy,
-            valid=valid,
-        )
+        if config.banding:
+            outcome = align_batch_banded(
+                pwm_arr,
+                windows,
+                config.phmm,
+                np.asarray(centers, dtype=np.int64),
+                config.band_w,
+                tolerance=config.band_tolerance,
+                adaptive=config.band_mode == "adaptive",
+                mode=config.alignment_mode,
+                edge_policy=config.edge_policy,
+                valid=valid,
+                groups=np.asarray(groups, dtype=np.int64),
+                escape_min_ratio=config.min_ratio,
+            )
+        else:
+            outcome = align_batch(
+                pwm_arr,
+                windows,
+                config.phmm,
+                mode=config.alignment_mode,
+                edge_policy=config.edge_policy,
+                valid=valid,
+            )
     else:
         outcome = None
 

@@ -94,7 +94,8 @@ class TestReadVcf:
             read_vcf(io.StringIO("chr1\t5\t.\tA\n"))
 
     def test_pipeline_vcf_end_to_end(self, tmp_path):
-        from repro import GnumapSnp, PipelineConfig, build_workload
+        from repro import PipelineConfig, build_workload
+        from repro.pipeline.gnumap import GnumapSnp
 
         wl = build_workload(scale="tiny", seed=71)
         result = GnumapSnp(wl.reference, PipelineConfig()).run(wl.reads)

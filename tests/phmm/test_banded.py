@@ -1,0 +1,301 @@
+"""Banded-kernel tests: geometry, exactness, convergence, escape hatch.
+
+The band is a pure restriction of the DP lattice, so every guarantee is
+relative to the full kernels: bitwise equality when the band covers the
+matrix, monotone convergence of the likelihood as the band widens, and the
+adaptive escape hatch recovering full-kernel results where the band
+assumption breaks (large indels shifting the alignment off its seed
+diagonal).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError, SanitizerError
+from repro.observability import scope
+from repro.phmm import sanitize
+from repro.phmm.alignment import align_batch, align_batch_banded
+from repro.phmm.banded import (
+    BandSpec,
+    band_edge_mass,
+    backward_banded,
+    forward_banded,
+)
+from repro.phmm.forward_backward import (
+    backward_batch,
+    emissions_batch,
+    forward_batch,
+)
+from repro.phmm.model import PHMMParams
+from repro.phmm.pwm import pwm_from_codes
+
+PARAMS = PHMMParams()
+MODES = ("semiglobal", "global")
+
+
+def random_batch(rng, b=3, n=8, m=14):
+    codes = rng.integers(0, 4, (b, n)).astype(np.uint8)
+    errs = rng.uniform(0.001, 0.3, (b, n))
+    pwms = np.stack([pwm_from_codes(c, e) for c, e in zip(codes, errs)])
+    windows = rng.integers(0, 5, (b, m)).astype(np.uint8)
+    return pwms, windows
+
+
+def indel_case(shift=6, n=30, pad=8, seed=0):
+    """A read whose tail aligns ``shift`` diagonals off its seed diagonal:
+    the window deletes ``shift`` bases mid-read relative to the read."""
+    rng = np.random.default_rng(seed)
+    read = rng.integers(0, 4, n).astype(np.uint8)
+    half = n // 2
+    window = np.concatenate(
+        [
+            rng.integers(0, 4, pad).astype(np.uint8),
+            read[:half],
+            rng.integers(0, 4, shift).astype(np.uint8),
+            read[half:],
+            rng.integers(0, 4, pad).astype(np.uint8),
+        ]
+    )
+    pwm = pwm_from_codes(read, np.full(n, 0.01))
+    return pwm[None], window[None].astype(np.uint8), pad
+
+
+class TestBandSpec:
+    def test_row_bounds_clip_to_matrix(self):
+        band = BandSpec(n=5, m=10, center=0, width=2)
+        assert band.row_bounds(0) == (0, 2)
+        assert band.row_bounds(5) == (3, 7)
+        wide = BandSpec(n=5, m=10, center=5, width=50)
+        assert wide.row_bounds(0) == (0, 10)
+        assert wide.covers_matrix()
+
+    def test_band_can_slide_off_matrix(self):
+        band = BandSpec(n=10, m=6, center=5, width=1)
+        lo, hi = band.row_bounds(10)
+        assert lo > hi  # empty row: band left the matrix
+        assert not band.covers_matrix()
+
+    def test_n_cells_matches_mask(self):
+        band = BandSpec(n=7, m=11, center=3, width=2)
+        outside = band.outside_mask()
+        # n_cells counts the DP rows 1..n; row 0 is initialisation only
+        assert band.n_cells() == int((~outside)[1:].sum())
+
+    def test_interior_edges_exclude_matrix_boundary(self):
+        band = BandSpec(n=6, m=8, center=0, width=2)
+        lo_edge, hi_edge = band.interior_edges(0)
+        assert lo_edge == -1  # clipped by column 0: not a band-made edge
+        assert hi_edge == 2
+
+
+class TestExactness:
+    """Band covering the whole matrix => bitwise-identical to full kernels."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_forward_backward_bitwise(self, mode):
+        rng = np.random.default_rng(7)
+        pwms, windows = random_batch(rng)
+        n, m = pwms.shape[1], windows.shape[1]
+        pstar = emissions_batch(pwms, windows, PARAMS)
+        band = BandSpec(n=n, m=m, center=m // 2, width=n + m)
+        assert band.covers_matrix()
+        fwd_b = forward_banded(pstar, PARAMS, band, mode=mode)
+        fwd_f = forward_batch(pstar, PARAMS, mode=mode)
+        assert np.array_equal(fwd_b.loglik, fwd_f.loglik)
+        assert np.array_equal(fwd_b.fM, fwd_f.fM)
+        bwd_b = backward_banded(pstar, PARAMS, band, mode=mode)
+        bwd_f = backward_batch(pstar, PARAMS, mode=mode)
+        assert np.array_equal(bwd_b.bM, bwd_f.bM)
+
+    def test_align_batch_banded_matches_full_when_covering(self):
+        rng = np.random.default_rng(3)
+        pwms, windows = random_batch(rng)
+        m = windows.shape[1]
+        full = align_batch(pwms, windows, PARAMS)
+        banded = align_batch_banded(
+            pwms,
+            windows,
+            PARAMS,
+            centers=np.full(pwms.shape[0], m // 2, dtype=np.int64),
+            band_w=pwms.shape[1] + m,
+        )
+        assert np.array_equal(banded.loglik, full.loglik)
+        assert np.array_equal(banded.z, full.z)
+
+
+class TestConvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        mode=st.sampled_from(MODES),
+    )
+    def test_loglik_monotone_and_convergent_in_band_width(self, seed, mode):
+        rng = np.random.default_rng(seed)
+        pwms, windows = random_batch(rng, b=2, n=6, m=10)
+        n, m = pwms.shape[1], windows.shape[1]
+        pstar = emissions_batch(pwms, windows, PARAMS)
+        full = forward_batch(pstar, PARAMS, mode=mode).loglik
+        prev = np.full(pwms.shape[0], -np.inf)
+        for width in range(1, n + m + 1):
+            band = BandSpec(n=n, m=m, center=m // 2, width=width)
+            ll = forward_banded(pstar, PARAMS, band, mode=mode).loglik
+            # wider band = superset of alignment paths: mass only grows
+            assert np.all(ll >= prev - 1e-9)
+            assert np.all(ll <= full + 1e-9)
+            prev = ll
+        assert np.allclose(prev, full)
+
+
+class TestEscapeHatch:
+    def test_large_indel_escapes_to_full_kernels(self):
+        pwms, windows, pad = indel_case(shift=6)
+        centers = np.array([pad], dtype=np.int64)
+        full = align_batch(pwms, windows, PARAMS)
+        with scope() as reg:
+            banded = align_batch_banded(
+                pwms, windows, PARAMS, centers, band_w=2, tolerance=1e-4
+            )
+            counters = reg.snapshot().counters
+        assert counters.get("phmm.band_escapes", 0) == 1
+        assert np.array_equal(banded.loglik, full.loglik)
+        assert np.array_equal(banded.z, full.z)
+
+    def test_fixed_mode_never_escapes(self):
+        pwms, windows, pad = indel_case(shift=6)
+        centers = np.array([pad], dtype=np.int64)
+        full = align_batch(pwms, windows, PARAMS)
+        with scope() as reg:
+            banded = align_batch_banded(
+                pwms, windows, PARAMS, centers, band_w=2, adaptive=False
+            )
+            counters = reg.snapshot().counters
+        assert counters.get("phmm.band_escapes", 0) == 0
+        # the narrow band misses the shifted tail: likelihood strictly below
+        assert banded.loglik[0] < full.loglik[0]
+
+    def test_well_centered_read_stays_banded(self):
+        pwms, windows, pad = indel_case(shift=0)
+        centers = np.array([pad], dtype=np.int64)
+        with scope() as reg:
+            align_batch_banded(
+                pwms, windows, PARAMS, centers, band_w=6, tolerance=1e-4
+            )
+            counters = reg.snapshot().counters
+        assert counters.get("phmm.band_escapes", 0) == 0
+        assert counters["phmm.cells_banded"] > 0
+        assert "phmm.cells_full" not in counters
+
+    def test_group_gate_suppresses_uncompetitive_escapes(self):
+        # pair 0: clean, well-centred; pair 1: same read vs a junk window
+        # whose band-edge mass is high but whose likelihood is hopeless.
+        pwms, windows, pad = indel_case(shift=0, seed=1)
+        rng = np.random.default_rng(9)
+        junk = rng.integers(0, 4, windows.shape[1]).astype(np.uint8)
+        pwms2 = np.concatenate([pwms, pwms])
+        windows2 = np.stack([windows[0], junk])
+        centers = np.full(2, pad, dtype=np.int64)
+        groups = np.zeros(2, dtype=np.int64)
+        with scope() as reg:
+            out = align_batch_banded(
+                pwms2,
+                windows2,
+                PARAMS,
+                centers,
+                band_w=2,
+                tolerance=0.0,  # everything's edge mass "exceeds" tolerance
+                groups=groups,
+                escape_min_ratio=1e-4,
+            )
+            gated = reg.snapshot().counters.get("phmm.band_escapes", 0)
+        # only the competitive pair(s) may escape; the junk window must not
+        # unless it is competitive with the true alignment (it is not)
+        assert out.loglik[1] < out.loglik[0] + np.log(1e-4)
+        with scope() as reg:
+            align_batch_banded(
+                pwms2,
+                windows2,
+                PARAMS,
+                centers,
+                band_w=2,
+                tolerance=0.0,
+            )
+            ungated = reg.snapshot().counters.get("phmm.band_escapes", 0)
+        assert ungated == 2
+        assert gated < ungated
+
+    def test_edge_mass_small_for_wide_band(self):
+        rng = np.random.default_rng(11)
+        pwms, windows = random_batch(rng, b=2)
+        n, m = pwms.shape[1], windows.shape[1]
+        pstar = emissions_batch(pwms, windows, PARAMS)
+        band = BandSpec(n=n, m=m, center=m // 2, width=n + m)
+        fwd = forward_banded(pstar, PARAMS, band)
+        bwd = backward_banded(pstar, PARAMS, band)
+        from repro.phmm.posterior import posteriors_batch
+
+        post = posteriors_batch(pstar, pwms, windows, fwd, bwd, PARAMS)
+        edge = band_edge_mass(post.match_posterior, band)
+        assert np.all(edge == 0.0)  # covering band has no interior edges
+
+
+class TestSanitizer:
+    def test_check_band_passes_on_banded_output(self):
+        rng = np.random.default_rng(5)
+        pwms, windows = random_batch(rng)
+        n, m = pwms.shape[1], windows.shape[1]
+        pstar = emissions_batch(pwms, windows, PARAMS)
+        band = BandSpec(n=n, m=m, center=m // 2, width=3)
+        sanitize.enable()
+        try:
+            forward_banded(pstar, PARAMS, band)
+            backward_banded(pstar, PARAMS, band)
+        finally:
+            sanitize.disable()
+
+    def test_check_band_rejects_mass_outside_band(self):
+        band = BandSpec(n=3, m=5, center=2, width=1)
+        shape = (1, 4, 6)
+        sM = np.zeros(shape)
+        sM[0][~band.outside_mask()] = 0.5
+        leaky = sM.copy()
+        out_i, out_j = np.argwhere(band.outside_mask())[0]
+        leaky[0, out_i, out_j] = 0.1  # mass beyond the band edge
+        zeros = np.zeros(shape)
+        sanitize.check_band(sM, zeros, zeros, band)  # clean: no raise
+        with pytest.raises(SanitizerError):
+            sanitize.check_band(leaky, zeros, zeros, band)
+
+
+class TestValidation:
+    def test_bad_centers_shape(self):
+        rng = np.random.default_rng(0)
+        pwms, windows = random_batch(rng, b=2)
+        with pytest.raises(AlignmentError):
+            align_batch_banded(
+                pwms, windows, PARAMS, np.zeros(3, dtype=np.int64), band_w=3
+            )
+
+    def test_bad_band_width(self):
+        rng = np.random.default_rng(0)
+        pwms, windows = random_batch(rng, b=1)
+        with pytest.raises(AlignmentError):
+            align_batch_banded(
+                pwms, windows, PARAMS, np.zeros(1, dtype=np.int64), band_w=0
+            )
+
+    def test_bad_groups_shape(self):
+        rng = np.random.default_rng(0)
+        pwms, windows = random_batch(rng, b=2)
+        with pytest.raises(AlignmentError):
+            align_batch_banded(
+                pwms,
+                windows,
+                PARAMS,
+                np.zeros(2, dtype=np.int64),
+                band_w=1,
+                tolerance=0.0,
+                groups=np.zeros(5, dtype=np.int64),
+                escape_min_ratio=0.5,
+            )

@@ -33,6 +33,37 @@ class TestPipelineConfig:
         with pytest.raises(ConfigError):
             PipelineConfig(alignment_mode="local")
 
+    def test_band_defaults_off(self):
+        cfg = PipelineConfig()
+        assert cfg.band_mode == "off"
+        assert not cfg.banding
+        assert cfg.band_cell_fraction(62) == 1.0
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(band_mode="diagonal")
+        with pytest.raises(ConfigError):
+            PipelineConfig(band_w=0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(band_tolerance=1.0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(band_tolerance=-0.1)
+
+    def test_banding_requires_marginal_posteriors(self):
+        assert PipelineConfig(band_mode="adaptive").banding
+        assert not PipelineConfig(
+            band_mode="adaptive", posterior_mode="viterbi"
+        ).banding
+
+    def test_band_cell_fraction(self):
+        cfg = PipelineConfig(band_mode="fixed", band_w=10)
+        # band of 21 diagonals over a (read_len + 2*pad)-wide window
+        assert cfg.band_cell_fraction(62) == pytest.approx(21 / 78)
+        # a band wider than the window means no savings, never > 1
+        assert PipelineConfig(
+            band_mode="fixed", band_w=1000
+        ).band_cell_fraction(62) == 1.0
+
     def test_subconfigs_carried(self):
         from repro.calling.caller import CallerConfig
         from repro.index.seeding import SeederConfig

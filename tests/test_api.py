@@ -1,0 +1,146 @@
+"""Tests for the public facade (:mod:`repro.api`) and the 1.x shims.
+
+The facade is a thin composition over the internal pipeline, so every test
+is an equivalence: whatever verb combination the caller picks — one-shot
+``run``, staged ``map_reads``+``call``, multiprocess ``run(workers=n)``,
+banded or full kernels, or the deprecated constructors — the SNP output is
+the same.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import CallResult, Engine
+from repro.errors import PipelineError
+from repro.experiments.workload import build_workload
+from repro.genome.fasta import write_fasta
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = build_workload(scale="tiny", seed=17)
+    wl.reads = wl.reads[:400]
+    return wl
+
+
+def snp_keys(snps):
+    return [(s.pos, s.ref_name, s.alt_name) for s in snps]
+
+
+class TestEngine:
+    def test_run_matches_internal_pipeline(self, workload):
+        config = PipelineConfig()
+        internal = GnumapSnp(workload.reference, config).run(workload.reads)
+        result = Engine(workload.reference, config).run(workload.reads)
+        assert isinstance(result, CallResult)
+        assert snp_keys(result.snps) == snp_keys(internal.snps)
+        assert result.stats.n_reads == internal.stats.n_reads
+
+    def test_staged_map_then_call_matches_run(self, workload):
+        engine = Engine(workload.reference)
+        one_shot = Engine(workload.reference).run(workload.reads)
+        half = len(workload.reads) // 2
+        stats = engine.map_reads(workload.reads[:half])
+        assert stats.n_reads == half
+        stats = engine.map_reads(workload.reads[half:])
+        assert stats.n_reads == len(workload.reads)  # cumulative
+        staged = engine.call()
+        assert snp_keys(staged.snps) == snp_keys(one_shot.snps)
+        assert np.allclose(
+            staged.accumulator.snapshot(), one_shot.accumulator.snapshot()
+        )
+
+    def test_call_before_map_raises(self, workload):
+        with pytest.raises(PipelineError):
+            Engine(workload.reference).call()
+
+    def test_reset_drops_evidence(self, workload):
+        engine = Engine(workload.reference)
+        engine.map_reads(workload.reads[:50])
+        engine.reset()
+        with pytest.raises(PipelineError):
+            engine.call()
+        assert engine.map_reads(workload.reads[:50]).n_reads == 50
+
+    def test_workers_two_matches_serial(self, workload):
+        config = PipelineConfig()
+        serial = Engine(workload.reference, config).run(workload.reads)
+        mp = Engine(workload.reference, config).run(workload.reads, workers=2)
+        assert snp_keys(mp.snps) == snp_keys(serial.snps)
+
+    def test_bad_workers_rejected(self, workload):
+        with pytest.raises(PipelineError):
+            Engine(workload.reference).run(workload.reads, workers=0)
+
+    def test_from_fasta(self, workload, tmp_path):
+        path = tmp_path / "ref.fa"
+        write_fasta(path, {workload.reference.name: workload.reference.codes})
+        engine = Engine.from_fasta(str(path))
+        assert len(engine.reference) == len(workload.reference)
+        assert engine.reference.name == workload.reference.name
+
+    def test_from_fasta_rejects_multi_record(self, workload, tmp_path):
+        path = tmp_path / "two.fa"
+        codes = workload.reference.codes[:100]
+        write_fasta(path, {"a": codes, "b": codes})
+        with pytest.raises(PipelineError):
+            Engine.from_fasta(str(path))
+
+    def test_write_tsv(self, workload, tmp_path):
+        result = Engine(workload.reference).run(workload.reads)
+        out = tmp_path / "snps.tsv"
+        n = result.write_tsv(str(out))
+        assert n == len(result.snps)
+        assert out.read_text().startswith("pos\t")
+
+
+class TestBandedEngine:
+    @pytest.mark.parametrize("band_mode", ["fixed", "adaptive"])
+    def test_banded_matches_full_calls(self, workload, band_mode):
+        full = Engine(workload.reference, PipelineConfig()).run(workload.reads)
+        banded = Engine(
+            workload.reference, PipelineConfig(band_mode=band_mode)
+        ).run(workload.reads)
+        assert snp_keys(banded.snps) == snp_keys(full.snps)
+
+    def test_banded_serial_matches_banded_mp(self, workload):
+        config = PipelineConfig(band_mode="adaptive")
+        serial = Engine(workload.reference, config).run(workload.reads)
+        mp = Engine(workload.reference, config).run(workload.reads, workers=2)
+        assert snp_keys(mp.snps) == snp_keys(serial.snps)
+        assert np.allclose(
+            mp.accumulator.snapshot(), serial.accumulator.snapshot(), atol=1e-3
+        )
+
+
+class TestDeprecatedShims:
+    def test_top_level_gnumap_warns_and_works(self, workload):
+        with pytest.warns(DeprecationWarning, match="repro.api.Engine"):
+            pipeline = repro.GnumapSnp(workload.reference, PipelineConfig())
+        result = pipeline.run(workload.reads[:100])
+        fresh = Engine(workload.reference).run(workload.reads[:100])
+        assert snp_keys(result.snps) == snp_keys(fresh.snps)
+
+    def test_top_level_run_multiprocessing_warns_and_works(self, workload):
+        with pytest.warns(DeprecationWarning, match="Engine"):
+            result = repro.run_multiprocessing(
+                workload.reference, workload.reads[:100], n_workers=2
+            )
+        fresh = Engine(workload.reference).run(workload.reads[:100])
+        assert snp_keys(result.snps) == snp_keys(fresh.snps)
+
+    def test_internal_constructor_stays_silent(self, workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            GnumapSnp(workload.reference, PipelineConfig())
+            Engine(workload.reference)
+
+    def test_facade_is_exported_top_level(self):
+        assert repro.Engine is Engine
+        assert repro.CallResult is CallResult
+        assert "Engine" in repro.__all__

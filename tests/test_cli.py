@@ -66,6 +66,40 @@ class TestSimulateCallEvaluate:
         assert text.startswith("@HD")
         assert "\t60\t" in text  # confident unique placements exist
 
+    def test_call_banded_matches_default(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main([
+            "simulate", "--scale", "tiny", "--seed", "21",
+            "--reference", str(ref), "--reads", str(reads),
+            "--truth", str(tmp_path / "t.tsv"),
+        ])
+        capsys.readouterr()
+        full_out = tmp_path / "full.tsv"
+        band_out = tmp_path / "band.tsv"
+        assert main(["call", str(ref), str(reads), "-o", str(full_out)]) == 0
+        assert main([
+            "call", str(ref), str(reads), "-o", str(band_out),
+            "--band-mode", "adaptive", "--band-width", "10",
+            "--band-tolerance", "1e-4",
+        ]) == 0
+        capsys.readouterr()
+        assert band_out.read_bytes() == full_out.read_bytes()
+
+    def test_band_flags_validated(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        ref.write_text(">a\nACGTACGTACGTACGT\n")
+        reads = tmp_path / "r.fq"
+        reads.write_text("@r\nACGTACGTACGT\n+\nIIIIIIIIIIII\n")
+        rc = main([
+            "call", str(ref), str(reads), "-o", str(tmp_path / "o.tsv"),
+            "--band-mode", "fixed", "--band-width", "0",
+        ])
+        assert rc == 2
+        assert "band_w" in capsys.readouterr().err
+        with pytest.raises(SystemExit):  # argparse rejects unknown modes
+            main(["call", str(ref), str(reads), "--band-mode", "wat"])
+
     def test_experiments_table2(self, capsys):
         rc = main(["experiments", "table2", "--scale", "tiny"])
         assert rc == 0

@@ -14,9 +14,10 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, *args: str, timeout: int = 300) -> str:
+def run_example(name: str, *args: str, timeout: int = 300,
+                python_flags: "tuple[str, ...]" = ()) -> str:
     proc = subprocess.run(
-        [sys.executable, str(EXAMPLES / name), *args],
+        [sys.executable, *python_flags, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -27,12 +28,20 @@ def run_example(name: str, *args: str, timeout: int = 300) -> str:
 
 class TestExamples:
     def test_quickstart(self):
-        out = run_example("quickstart.py")
+        # -W error: the facade-based examples must not touch deprecated
+        # entry points.
+        out = run_example(
+            "quickstart.py", python_flags=("-W", "error::DeprecationWarning")
+        )
         assert "called" in out
         assert "precision" in out
 
     def test_fastq_workflow(self, tmp_path):
-        out = run_example("fastq_workflow.py", str(tmp_path))
+        out = run_example(
+            "fastq_workflow.py",
+            str(tmp_path),
+            python_flags=("-W", "error::DeprecationWarning"),
+        )
         assert "SNP calls" in out
         assert (tmp_path / "snps.tsv").exists()
         assert (tmp_path / "reference.fa").exists()
@@ -46,3 +55,26 @@ class TestExamples:
         out = run_example("diploid_calling.py")
         assert "site detection" in out
         assert "het" in out
+
+
+class TestExampleSources:
+    """The examples double as API documentation: pin which entry point each
+    one exercises so the deprecated path keeps one living user until 2.0."""
+
+    MIGRATED = (
+        "quickstart.py",
+        "fastq_workflow.py",
+        "memory_modes.py",
+        "parallel_scaling.py",
+        "diploid_calling.py",
+    )
+
+    @pytest.mark.parametrize("name", MIGRATED)
+    def test_migrated_examples_use_engine(self, name):
+        src = (EXAMPLES / name).read_text()
+        assert "Engine" in src
+        assert "GnumapSnp" not in src
+
+    def test_one_example_pins_deprecated_path(self):
+        src = (EXAMPLES / "paired_end_repeats.py").read_text()
+        assert "from repro import GnumapSnp" in src

@@ -11,7 +11,8 @@ import io
 import numpy as np
 import pytest
 
-from repro import GnumapSnp, PipelineConfig, build_workload
+from repro import PipelineConfig, build_workload
+from repro.pipeline.gnumap import GnumapSnp
 from repro.calling.caller import CallerConfig
 from repro.errors import FastqError
 from repro.evaluation.metrics import compare_to_truth
