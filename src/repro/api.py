@@ -127,18 +127,33 @@ class Engine:
         return self._pipeline
 
     # -- staged verbs -----------------------------------------------------------
-    def map_reads(self, reads: "list[Read]") -> MappingStats:
+    def map_reads(self, reads: "list[Read]", workers: int = 1) -> MappingStats:
         """Align ``reads`` and fold their evidence into the engine's
         accumulator; returns the cumulative mapping stats.
 
         Call repeatedly to accumulate evidence online; ``call()`` consumes
-        whatever has been accumulated so far.
+        whatever has been accumulated so far.  ``workers > 1`` maps the
+        batch across that many processes through the fault-tolerant
+        dispatcher (crashes/hangs/corrupted partials are retried, then
+        degraded to a serial re-run — see
+        :mod:`repro.pipeline.mp_backend`); the merged partial folds into
+        the staged accumulator exactly as the serial path would.
         """
+        if workers < 1:
+            raise PipelineError(f"workers must be >= 1, got {workers}")
         if self._accumulator is None:
             self._accumulator = self._pipeline.new_accumulator()
-        _, stats = self._pipeline.map_reads(
-            reads, accumulator=self._accumulator, timers=self._timers
-        )
+        if workers > 1:
+            from repro.pipeline.mp_backend import map_reads_multiprocessing
+
+            part_acc, stats = map_reads_multiprocessing(
+                self._pipeline, reads, workers
+            )
+            self._accumulator.merge(part_acc)
+        else:
+            _, stats = self._pipeline.map_reads(
+                reads, accumulator=self._accumulator, timers=self._timers
+            )
         self._stats.merge(stats)
         return self._stats
 

@@ -60,6 +60,9 @@ def _cmd_call(args: argparse.Namespace) -> int:
         band_mode=args.band_mode,
         band_w=args.band_width,
         band_tolerance=args.band_tolerance,
+        mp_chunk_timeout=args.chunk_timeout,
+        mp_max_retries=args.max_retries,
+        mp_fault_spec=args.fault_spec,
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
     )
@@ -202,6 +205,33 @@ def _add_band_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_tolerance_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECS",
+        help="kill and retry a worker that holds one read chunk longer than "
+        "this many seconds (default: 120)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-dispatch a failed chunk (crash/timeout/corrupt partial) up "
+        "to N times before re-running it serially in the parent (default: 2)",
+    )
+    p.add_argument(
+        "--fault-spec",
+        default="",
+        metavar="SPEC",
+        help="inject deterministic worker faults for testing, e.g. "
+        "'crash:chunk=0;hang:chunk=1' (modes: crash/hang/corrupt; "
+        "equivalent to REPRO_FAULTS)",
+    )
+
+
 def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--sanitize",
@@ -247,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write a markdown run report here")
     p_call.add_argument("--workers", type=int, default=1,
                         help="map reads across this many processes")
+    _add_fault_tolerance_args(p_call)
     p_call.add_argument("-v", "--verbose", action="store_true")
     _add_band_args(p_call)
     _add_metrics_arg(p_call)

@@ -86,6 +86,15 @@ class MetricsSnapshot:
         )
 
     # -- queries -------------------------------------------------------------
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """Counter value, or ``default`` when the counter never fired.
+
+        Recovery counters (``mp.chunk_retries``, ``mp.worker_deaths``, ...)
+        only exist on runs that actually recovered from something; this
+        keeps assertions and smoke checks free of ``.get`` boilerplate.
+        """
+        return float(self.counters.get(name, default))
+
     def span_node(self, path: str) -> "dict | None":
         """Span node at ``"a/b/c"``, or None if absent."""
         node = None

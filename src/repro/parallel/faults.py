@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the fault-tolerant process backend.
+
+Genome-scale runs make worker failure the rule, not the exception; the
+recovery paths in :mod:`repro.parallel.dispatch` are only trustworthy if
+they can be exercised on demand, deterministically, in CI.  This module
+provides that: a tiny spec grammar describing *which* chunk attempts fail
+and *how*, parsed once in the parent and shipped (picklable) to every
+worker through the pool initializer.
+
+Spec grammar (``ConfigError`` on violation)::
+
+    spec   := clause (";" clause)*
+    clause := mode [":" key "=" value ("," key "=" value)*]
+    mode   := "crash" | "hang" | "corrupt"
+    key    := "chunk" | "times" | "p" | "seed" | "secs"
+
+* ``crash`` — the worker process dies hard (``os._exit``), simulating a
+  segfault or an OOM kill.  The parent sees the pipe close.
+* ``hang`` — the worker sleeps ``secs`` (default far past any sane chunk
+  timeout) before proceeding, simulating a wedged worker; the parent's
+  per-chunk deadline fires and the worker is killed.
+* ``corrupt`` — the chunk computes normally but its partial-accumulator
+  buffers come home poisoned with ``NaN``; the parent's chunk-level
+  sanitizer validation (:func:`repro.phmm.sanitize.check_partial`) must
+  reject the partial before it can reach the merge.
+
+Targeting: ``chunk=<int>`` pins a clause to one chunk id; otherwise the
+clause applies to every chunk with probability ``p`` (default 1), drawn
+from a seeded counter-based hash of ``(seed, chunk_id, attempt)`` so runs
+are bit-reproducible across processes and start methods.  ``times``
+(default 1) bounds how many *attempts* of a chunk fire the fault — the
+default makes every fault transient: attempt 0 fails, the retry succeeds.
+
+Activation: ``PipelineConfig.mp_fault_spec``, or the ``REPRO_FAULTS``
+environment variable when the config field is empty (see
+:func:`resolve_fault_plan`).  An empty spec parses to the falsy
+:data:`EMPTY_PLAN`, whose hooks are no-ops.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "EMPTY_PLAN",
+    "FaultClause",
+    "FaultPlan",
+    "corrupt_buffers",
+    "parse_fault_spec",
+    "resolve_fault_plan",
+]
+
+#: Exit code a ``crash`` clause kills the worker with (visible in logs).
+CRASH_EXIT_CODE = 70
+
+_MODES = ("crash", "hang", "corrupt")
+_KEYS = ("chunk", "times", "p", "seed", "secs")
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _draw(seed: int, chunk_id: int, attempt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` (splitmix64-style hash).
+
+    Counter-based rather than stateful so every process — parent, spawn
+    worker, fork worker, a retry on a different worker — agrees on whether
+    a probabilistic clause fires for a given ``(chunk, attempt)``.
+    """
+    x = (
+        seed * 0x9E3779B97F4A7C15
+        + (chunk_id + 1) * 0xBF58476D1CE4E5B9
+        + (attempt + 1) * 0x94D049BB133111EB
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    mode: str
+    chunk: "int | None" = None
+    times: int = 1
+    p: float = 1.0
+    seed: int = 0
+    secs: float = 3600.0
+
+    def fires(self, chunk_id: int, attempt: int) -> bool:
+        """Does this clause fire for attempt ``attempt`` of ``chunk_id``?"""
+        if attempt >= self.times:
+            return False
+        if self.chunk is not None:
+            return chunk_id == self.chunk
+        if self.p >= 1.0:
+            return True
+        return _draw(self.seed, chunk_id, attempt) < self.p
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault clauses; picklable, immutable, cheap to ship."""
+
+    clauses: "tuple[FaultClause, ...]" = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.clauses)
+
+    def clause_for(
+        self, chunk_id: int, attempt: int, mode: "str | None" = None
+    ) -> "FaultClause | None":
+        """First clause (optionally of ``mode``) firing for this attempt."""
+        for clause in self.clauses:
+            if mode is not None and clause.mode != mode:
+                continue
+            if clause.fires(chunk_id, attempt):
+                return clause
+        return None
+
+    def inject_pre_compute(self, chunk_id: int, attempt: int) -> None:
+        """Apply crash/hang faults; called in the worker before mapping."""
+        if not self.clauses:
+            return
+        if self.clause_for(chunk_id, attempt, mode="crash") is not None:
+            # Hard death: no exception, no cleanup — the closest stand-in
+            # for a segfault / OOM kill the parent must survive.
+            os._exit(CRASH_EXIT_CODE)
+        hang = self.clause_for(chunk_id, attempt, mode="hang")
+        if hang is not None:
+            time.sleep(hang.secs)
+
+    def corrupts(self, chunk_id: int, attempt: int) -> bool:
+        """Should this attempt's partial buffers be poisoned?"""
+        return self.clause_for(chunk_id, attempt, mode="corrupt") is not None
+
+
+EMPTY_PLAN = FaultPlan()
+
+
+def corrupt_buffers(buffers: "dict[str, np.ndarray]") -> "dict[str, np.ndarray]":
+    """Poison a copy of partial-accumulator buffers with ``NaN``.
+
+    The first floating-point buffer gets a ``NaN`` planted in its first
+    element — exactly the class of in-transit corruption the parent's
+    pre-merge sanitizer check exists to catch.  Integer-only buffer sets
+    (discretised accumulators) are returned unchanged: there is no legal
+    ``NaN`` to plant, and inventing out-of-range codes would test the
+    decoder, not the merge guard.
+    """
+    out = dict(buffers)
+    for name, arr in out.items():
+        arr = np.asarray(arr)
+        if np.issubdtype(arr.dtype, np.floating) and arr.size:
+            poisoned = arr.copy()
+            poisoned.flat[0] = np.nan
+            out[name] = poisoned
+            break
+    return out
+
+
+def _parse_clause(text: str) -> FaultClause:
+    head, _, tail = text.partition(":")
+    mode = head.strip().lower()
+    if mode not in _MODES:
+        raise ConfigError(
+            f"unknown fault mode {mode!r}; choose from {list(_MODES)}"
+        )
+    kwargs: dict[str, "int | float"] = {}
+    if tail.strip():
+        for item in tail.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip().lower()
+            if not eq or key not in _KEYS:
+                raise ConfigError(
+                    f"bad fault clause item {item.strip()!r}; expected "
+                    f"key=value with key in {list(_KEYS)}"
+                )
+            try:
+                if key in ("chunk", "times", "seed"):
+                    kwargs[key] = int(value)
+                else:
+                    kwargs[key] = float(value)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"bad value for fault key {key!r}: {value.strip()!r}"
+                ) from exc
+    clause = FaultClause(
+        mode=mode,
+        chunk=int(kwargs["chunk"]) if "chunk" in kwargs else None,
+        times=int(kwargs.get("times", 1)),
+        p=float(kwargs.get("p", 1.0)),
+        seed=int(kwargs.get("seed", 0)),
+        secs=float(kwargs.get("secs", 3600.0)),
+    )
+    if clause.times < 1:
+        raise ConfigError(f"fault times must be >= 1, got {clause.times}")
+    if clause.chunk is not None and clause.chunk < 0:
+        raise ConfigError(f"fault chunk must be >= 0, got {clause.chunk}")
+    if not 0.0 < clause.p <= 1.0:
+        raise ConfigError(f"fault p must be in (0, 1], got {clause.p}")
+    if clause.secs <= 0:
+        raise ConfigError(f"fault secs must be > 0, got {clause.secs}")
+    return clause
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a fault spec string; ``""`` yields the empty (no-op) plan."""
+    spec = spec.strip()
+    if not spec:
+        return EMPTY_PLAN
+    clauses = tuple(
+        _parse_clause(part) for part in spec.split(";") if part.strip()
+    )
+    if not clauses:
+        return EMPTY_PLAN
+    return FaultPlan(clauses=clauses)
+
+
+def resolve_fault_plan(config_spec: str = "") -> FaultPlan:
+    """The active plan: the config's spec, else ``REPRO_FAULTS``, else none."""
+    text = config_spec.strip() or os.environ.get("REPRO_FAULTS", "").strip()
+    return parse_fault_spec(text)

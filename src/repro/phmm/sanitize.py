@@ -188,3 +188,15 @@ def check_accumulator(evidence: np.ndarray, where: str = "accumulator") -> None:
     evidence = np.asarray(evidence)
     check_finite(where, "evidence", evidence)
     check_non_negative(where, "evidence", evidence)
+
+
+def check_partial(evidence: np.ndarray, chunk_id: int) -> None:
+    """Chunk-level validation of one worker's partial evidence before merge.
+
+    Runs :func:`check_accumulator` with the failure attributed to the
+    producing chunk (``mp.chunk[<id>].partial``), so a corrupted partial is
+    rejected — and retried — *before* it can poison the cross-worker
+    reduction, rather than surfacing as a bogus SNP (or a late merge
+    failure with no attribution) downstream.
+    """
+    check_accumulator(evidence, where=f"mp.chunk[{chunk_id}].partial")

@@ -12,7 +12,11 @@ from dataclasses import dataclass, field
 from repro.calling.caller import CallerConfig
 from repro.errors import ConfigError
 from repro.index.seeding import SeederConfig
+from repro.parallel.faults import parse_fault_spec
 from repro.phmm.model import PHMMParams
+
+#: Start methods the multiprocessing backend may be pinned to.
+MP_START_METHODS = ("spawn", "fork", "forkserver")
 
 
 @dataclass
@@ -65,6 +69,32 @@ class PipelineConfig:
         Escape threshold for ``band_mode="adaptive"``: the fraction of a
         read's posterior match mass allowed on band-created edge cells
         before the pair is re-run full-width.
+    mp_start_method:
+        Multiprocessing start method for the real process backend, pinned
+        explicitly (``"spawn"`` default) so span-stack and
+        sanitizer-propagation semantics never depend on what a prior
+        caller or the platform set.
+    mp_chunk_timeout:
+        Per-chunk deadline in seconds for the fault-tolerant dispatcher; a
+        worker past it is killed and the chunk retried.  The deadline
+        clock only starts once the worker has reported ready, so one-time
+        worker init (index rebuild) never eats into a chunk's budget.
+    mp_max_retries:
+        Re-dispatches per chunk after the first attempt; an exhausted
+        chunk degrades to a serial re-run in the parent.
+    mp_backoff_base:
+        Base of the exponential retry backoff: attempt ``a`` is requeued
+        after ``mp_backoff_base * 2**a`` seconds.
+    mp_chunks_per_worker:
+        Chunk granularity: reads are split into
+        ``n_workers * mp_chunks_per_worker`` chunks (capped by the read
+        count), so a single recovery costs one chunk, not one worker's
+        whole share.
+    mp_fault_spec:
+        Deterministic fault-injection spec for the recovery paths (see
+        :mod:`repro.parallel.faults` for the grammar).  Empty (default)
+        defers to the ``REPRO_FAULTS`` environment variable; both empty
+        means no injection.
     """
 
     k: int = 10
@@ -79,6 +109,12 @@ class PipelineConfig:
     band_mode: str = "off"
     band_w: int = 10
     band_tolerance: float = 1e-4
+    mp_start_method: str = "spawn"
+    mp_chunk_timeout: float = 120.0
+    mp_max_retries: int = 2
+    mp_backoff_base: float = 0.05
+    mp_chunks_per_worker: int = 4
+    mp_fault_spec: str = ""
     max_index_positions_per_kmer: int | None = 64
     phmm: PHMMParams = field(default_factory=PHMMParams)
     seeder: SeederConfig = field(default_factory=SeederConfig)
@@ -114,6 +150,31 @@ class PipelineConfig:
             raise ConfigError(
                 f"band_tolerance must be in [0, 1), got {self.band_tolerance}"
             )
+        if self.mp_start_method not in MP_START_METHODS:
+            raise ConfigError(
+                f"mp_start_method must be one of {list(MP_START_METHODS)}, "
+                f"got {self.mp_start_method!r}"
+            )
+        if self.mp_chunk_timeout <= 0:
+            raise ConfigError(
+                f"mp_chunk_timeout must be > 0, got {self.mp_chunk_timeout}"
+            )
+        if self.mp_max_retries < 0:
+            raise ConfigError(
+                f"mp_max_retries must be >= 0, got {self.mp_max_retries}"
+            )
+        if self.mp_backoff_base < 0:
+            raise ConfigError(
+                f"mp_backoff_base must be >= 0, got {self.mp_backoff_base}"
+            )
+        if self.mp_chunks_per_worker < 1:
+            raise ConfigError(
+                f"mp_chunks_per_worker must be >= 1, "
+                f"got {self.mp_chunks_per_worker}"
+            )
+        # Fail fast on a malformed fault spec — at config time, in the
+        # parent, not mid-run inside a worker.
+        parse_fault_spec(self.mp_fault_spec)
 
     @property
     def banding(self) -> bool:

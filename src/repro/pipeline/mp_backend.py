@@ -6,28 +6,50 @@ processes, each maps against its own pipeline instance, partial accumulators
 come back in buffer form and are merged in the parent.  Results are
 identical to the serial pipeline (reductions are order-deterministic).
 
+Execution is **fault tolerant** (see :mod:`repro.parallel.dispatch`): chunks
+are dispatched asynchronously with a per-chunk timeout, worker deaths and
+remote errors are retried with exponential backoff, and a chunk that
+exhausts its retries is re-run serially in the parent — the run always
+completes, with byte-identical SNP calls, and every recovery is visible in
+the metrics (``mp.chunk_retries``, ``mp.chunk_timeouts``,
+``mp.worker_deaths``, ``mp.partial_rejects``, ``mp.serial_fallbacks``).
+Recovery paths are testable via deterministic fault injection
+(:mod:`repro.parallel.faults`; ``PipelineConfig.mp_fault_spec`` or the
+``REPRO_FAULTS`` environment variable).
+
 Workers re-build the genome index from the reference — cheap relative to
-mapping and simpler/safer than shipping index arrays through pickling.
+mapping and simpler/safer than shipping index arrays through pickling.  The
+start method is pinned explicitly (``PipelineConfig.mp_start_method``,
+default ``"spawn"``) so span-stack and sanitizer-propagation semantics no
+longer depend on what a prior caller or the platform happened to set.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import PipelineError
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
-from repro.memory.base import make_accumulator
-from repro.observability import detached, merge_snapshots, scope, span
+from repro.memory.base import Accumulator
+from repro.observability import current, detached, merge_snapshots, scope, span
 from repro.observability.snapshot import MetricsSnapshot
-from repro.parallel.partition import partition_reads_contiguous, take
+from repro.parallel.dispatch import ChunkDispatcher
+from repro.parallel.faults import FaultPlan, corrupt_buffers, resolve_fault_plan
+from repro.parallel.partition import (
+    partition_reads_contiguous,
+    take,
+    validate_partition,
+)
 from repro.phmm import sanitize
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult, fill_timers
 from repro.util.timers import TimerRegistry
+
+#: One chunk's transportable payload: (codes, quals, names) per read.
+ChunkPayload = "tuple[list, list, list]"
 
 # Module-level worker state (initialised per process by the pool initializer;
 # avoids re-pickling the reference for every chunk).
@@ -39,6 +61,7 @@ def _init_worker(
     ref_name: str,
     config: PipelineConfig,
     sanitize_on: bool = False,
+    fault_plan: "FaultPlan | None" = None,
 ) -> None:
     # Sanctioned pool-initializer pattern: each worker process installs its
     # own pipeline once; no writes ever flow back to the parent.
@@ -49,11 +72,19 @@ def _init_worker(
     reference = Reference(ref_codes, name=ref_name)
     _WORKER["pipe"] = GnumapSnp(reference, config)  # replint: disable=RPL301
     _WORKER["config"] = config  # replint: disable=RPL301
+    _WORKER["faults"] = fault_plan  # replint: disable=RPL301
 
 
-def _map_chunk(payload: "tuple[list, list, list]") -> "tuple[dict, dict, MetricsSnapshot]":
+def _map_chunk(
+    payload: "tuple[list, list, list]", chunk_id: int = 0, attempt: int = 0
+) -> "tuple[dict, dict, MetricsSnapshot]":
     codes_list, quals_list, names = payload
     pipe: GnumapSnp = _WORKER["pipe"]  # replint: disable=RPL301
+    plan: "FaultPlan | None" = _WORKER.get("faults")  # replint: disable=RPL301
+    if plan is not None:
+        # Deterministic injection point: crash/hang before any work, keyed
+        # by (chunk, attempt) so retries of a transient fault succeed.
+        plan.inject_pre_compute(chunk_id, attempt)
     reads = [
         Read(name=n, codes=c, quals=q)
         for n, c, q in zip(names, codes_list, quals_list)
@@ -65,7 +96,130 @@ def _map_chunk(payload: "tuple[list, list, list]") -> "tuple[dict, dict, Metrics
     with detached(), scope() as reg:
         acc, stats = pipe.map_reads(reads)
         snapshot = reg.snapshot()
-    return acc.to_buffers(), vars(stats), snapshot
+    buffers = acc.to_buffers()
+    if plan is not None and plan.corrupts(chunk_id, attempt):
+        buffers = corrupt_buffers(buffers)
+    return buffers, vars(stats), snapshot
+
+
+def map_reads_multiprocessing(
+    pipe: GnumapSnp,
+    reads: "list[Read]",
+    n_workers: int,
+) -> "tuple[Accumulator, MappingStats]":
+    """Map ``reads`` across ``n_workers`` processes with fault tolerance.
+
+    The mapping-only core shared by :func:`run_multiprocessing`, the online
+    chunked feed (:class:`~repro.pipeline.online.OnlineGnumap`) and the
+    staged :meth:`~repro.api.Engine.map_reads`: partitions the reads into
+    per-worker chunks, dispatches them through the fault-tolerant
+    :class:`~repro.parallel.dispatch.ChunkDispatcher`, re-runs exhausted
+    chunks serially in the parent, and merges partials in chunk order so
+    the result is deterministic whatever failed along the way.
+
+    Counters and spans land in the *current* observability registry.
+    Degenerate inputs (one worker, fewer than two reads) run serially with
+    an explicit ``mp.serial_fallbacks`` counter and an effective-worker
+    gauge of 1, so metrics consumers can always distinguish "ran serial"
+    from "parallel with no overhead".
+    """
+    if n_workers < 1:
+        raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
+    config = pipe.config
+    reference = pipe.reference
+    reg = current()
+
+    if n_workers == 1 or len(reads) < 2:
+        reg.inc("mp.serial_fallbacks")
+        reg.gauge_max("mp.workers_effective", 1)
+        return pipe.map_reads(reads)
+
+    n_chunks = max(1, min(len(reads), n_workers * config.mp_chunks_per_worker))
+    slices = partition_reads_contiguous(len(reads), n_chunks)
+    validate_partition(slices, len(reads))
+    chunk_reads = [take(reads, sl) for sl in slices]
+    payloads = [
+        (
+            [r.codes for r in part],
+            [r.quals for r in part],
+            [r.name for r in part],
+        )
+        for part in chunk_reads
+    ]
+
+    plan = resolve_fault_plan(config.mp_fault_spec)
+    ctx = mp.get_context(config.mp_start_method)
+    glen = len(reference)
+    acc_type = type(pipe.new_accumulator())
+
+    def validate_partial(chunk_id: int, result: "tuple[dict, dict, MetricsSnapshot]") -> None:
+        # Chunk-level validation before merge: a partial corrupted in a
+        # worker (or in transit) must be rejected *here*, attributed to its
+        # chunk, and retried — never merged into the evidence.
+        buffers, _, _ = result
+        part = acc_type.from_buffers(glen, buffers)
+        sanitize.check_partial(part.snapshot(), chunk_id)
+
+    dispatcher = ChunkDispatcher(
+        ctx,
+        n_workers,
+        _map_chunk,
+        initializer=_init_worker,
+        initargs=(
+            np.asarray(reference.codes),
+            reference.name,
+            config,
+            sanitize.enabled(),
+            plan if plan else None,
+        ),
+        timeout=config.mp_chunk_timeout,
+        max_retries=config.mp_max_retries,
+        backoff_base=config.mp_backoff_base,
+        validate=validate_partial if sanitize.enabled() else None,
+    )
+
+    merged: "Accumulator | None" = None
+    total = MappingStats()
+    with span("map_parallel"):
+        outcome = dispatcher.run(payloads)
+
+        # Merge in chunk order — deterministic regardless of completion
+        # order, retries, or which chunks degraded to the parent.
+        worker_snaps = []
+        for cid in range(n_chunks):
+            if cid in outcome.results:
+                buffers, stats_dict, snapshot = outcome.results[cid]
+                part_acc = acc_type.from_buffers(glen, buffers)
+                part_stats = MappingStats(**stats_dict)
+                worker_snaps.append(snapshot)
+            else:
+                # Retries exhausted: degrade gracefully — recompute this
+                # chunk serially in the parent so the run still completes
+                # with identical output.  Loud, never silent.
+                with span("serial_fallback"):
+                    part_acc, part_stats = pipe.map_reads(chunk_reads[cid])
+                reg.inc("mp.serial_fallbacks")
+            if merged is None:
+                merged = part_acc
+            else:
+                merged.merge(part_acc)
+            total.merge(part_stats)
+        if worker_snaps:
+            # One associative fold, then one coherent tree in this process.
+            reg.absorb(merge_snapshots(*worker_snaps))
+        reg.gauge_max("mp.workers", n_workers)
+        # Effective parallelism: requested workers capped by chunk count
+        # (n_workers > n_chunks leaves the surplus idle).
+        reg.gauge_max("mp.workers_effective", min(n_workers, n_chunks))
+        # Band-aware work estimate: the modelled fraction of full DP cells
+        # each worker fills per pair (1.0 with banding off) — lets metrics
+        # consumers reconcile wall time against cells actually charged.
+        mean_len = int(round(sum(len(r) for r in reads) / len(reads)))
+        reg.gauge_max("phmm.band_cell_fraction", config.band_cell_fraction(mean_len))
+
+    if merged is None:  # pragma: no cover - n_chunks >= 1 always
+        merged = pipe.new_accumulator()
+    return merged, total
 
 
 def run_multiprocessing(
@@ -77,7 +231,10 @@ def run_multiprocessing(
     """Map reads across ``n_workers`` real processes, then call SNPs.
 
     Equivalent to the serial :meth:`GnumapSnp.run`; the parallel win is real
-    only when the machine has that many cores.
+    only when the machine has that many cores.  Worker crashes, hangs and
+    corrupted partials are retried and, past the retry budget, re-run
+    serially in the parent — the run completes with identical SNP calls and
+    the recovery counters tell the story (see the module docstring).
     """
     if n_workers < 1:
         raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
@@ -85,59 +242,8 @@ def run_multiprocessing(
     pipe = GnumapSnp(reference, config)
     timers = TimerRegistry()
 
-    if n_workers == 1 or len(reads) < 2:
-        return pipe.run(reads)
-
-    slices = partition_reads_contiguous(len(reads), n_workers)
-    chunks = []
-    for sl in slices:
-        part = take(reads, sl)
-        chunks.append(
-            (
-                [r.codes for r in part],
-                [r.quals for r in part],
-                [r.name for r in part],
-            )
-        )
-
-    ctx = mp.get_context("spawn" if mp.get_start_method(allow_none=True) is None else None)
     with scope() as reg:
-        with span("map_parallel"):
-            with ctx.Pool(
-                processes=n_workers,
-                initializer=_init_worker,
-                initargs=(
-                    np.asarray(reference.codes),
-                    reference.name,
-                    config,
-                    sanitize.enabled(),
-                ),
-            ) as pool:
-                partials = pool.map(_map_chunk, chunks)
-
-        acc_type = type(pipe.new_accumulator())
-        merged = None
-        total = MappingStats()
-        worker_snaps = []
-        for buffers, stats_dict, snapshot in partials:
-            part_acc = acc_type.from_buffers(len(reference), buffers)
-            if merged is None:
-                merged = part_acc
-            else:
-                merged.merge(part_acc)
-            total.merge(MappingStats(**stats_dict))
-            worker_snaps.append(snapshot)
-        # One associative fold, then one coherent tree in this process.
-        reg.absorb(merge_snapshots(*worker_snaps))
-        reg.gauge_max("mp.workers", n_workers)
-        # Band-aware work estimate: the modelled fraction of full DP cells
-        # each worker fills per pair (1.0 with banding off) — lets metrics
-        # consumers reconcile wall time against cells actually charged.
-        mean_len = int(round(sum(len(r) for r in reads) / len(reads)))
-        reg.gauge_max("phmm.band_cell_fraction", config.band_cell_fraction(mean_len))
-
-        if merged is None:  # no reads at all
-            merged = pipe.new_accumulator()
+        merged, total = map_reads_multiprocessing(pipe, reads, n_workers)
         if sanitize.enabled():
             # Validate the cross-worker reduction before calling: a partial
             # corrupted in transit (or by a worker) must fail here, not as a
@@ -146,6 +252,8 @@ def run_multiprocessing(
         snps = pipe.call_snps(merged)
         snap = reg.snapshot()
         fill_timers(timers, snap)
-        seconds, count = snap.leaf_totals()["map_parallel"]
-        timers.account("map_parallel", seconds, entries=count)
+        totals = snap.leaf_totals()
+        if "map_parallel" in totals:
+            seconds, count = totals["map_parallel"]
+            timers.account("map_parallel", seconds, entries=count)
     return PipelineResult(snps=snps, accumulator=merged, stats=total, timers=timers)

@@ -13,6 +13,13 @@ separate post-processing pass over mapping output.
   and ``feed`` reports which of them changed call state in that chunk —
   the trigger mechanism a streaming consumer would hook.
 
+With ``workers > 1`` each fed chunk is mapped across real worker processes
+through the same fault-tolerant dispatcher as the batch backend
+(:func:`repro.pipeline.mp_backend.map_reads_multiprocessing`): worker
+crashes, hangs and corrupted partials are retried and, past the retry
+budget, re-run serially in the parent — a stream never dies to one bad
+chunk, and the recovery counters (``mp.*``) tell the story.
+
 Calls converge: once coverage saturates, later chunks can only refine
 p-values.  ``history()`` exposes the call-count trajectory for convergence
 monitoring (used by the tests to assert monotone-ish behaviour).
@@ -57,9 +64,15 @@ class OnlineGnumap:
     """Streaming wrapper over :class:`GnumapSnp` with a shared accumulator."""
 
     def __init__(
-        self, reference: Reference, config: PipelineConfig | None = None
+        self,
+        reference: Reference,
+        config: PipelineConfig | None = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise PipelineError(f"workers must be >= 1, got {workers}")
         self.pipeline = GnumapSnp(reference, config)
+        self.workers = workers
         self.accumulator = self.pipeline.new_accumulator()
         self.stats = MappingStats()
         self._chunk_index = 0
@@ -78,7 +91,19 @@ class OnlineGnumap:
 
     def feed(self, reads: "list[Read]") -> ChunkReport:
         """Map one chunk of reads and report the updated call state."""
-        _, chunk_stats = self.pipeline.map_reads(reads, accumulator=self.accumulator)
+        if self.workers > 1:
+            # Same fault-tolerant dispatcher as the batch backend; the
+            # chunk's merged partial folds into the stream's accumulator.
+            from repro.pipeline.mp_backend import map_reads_multiprocessing
+
+            part_acc, chunk_stats = map_reads_multiprocessing(
+                self.pipeline, reads, self.workers
+            )
+            self.accumulator.merge(part_acc)
+        else:
+            _, chunk_stats = self.pipeline.map_reads(
+                reads, accumulator=self.accumulator
+            )
         self.stats.merge(chunk_stats)
         snps = self.current_snps()
         self._history.append(len(snps))

@@ -35,7 +35,11 @@ from repro.index.seeding import Seeder
 from repro.memory.base import Accumulator, make_accumulator
 from repro.observability import span
 from repro.parallel.comm import Comm
-from repro.parallel.partition import partition_reads_contiguous, take
+from repro.parallel.partition import (
+    partition_reads_contiguous,
+    take,
+    validate_partition,
+)
 from repro.parallel.reduction import reduce_accumulator
 from repro.phmm.alignment import align_batch, align_batch_banded, build_windows
 from repro.phmm.pwm import flat_pwm, pwm_from_read, reverse_complement_pwm
@@ -72,8 +76,13 @@ def run_read_spread(
     if calibration:
         comm.account_compute(calibration.index_seconds(len(reference)))
 
-    my_slice = partition_reads_contiguous(len(reads), comm.size)[comm.rank]
-    local_reads = take(reads, my_slice)
+    slices = partition_reads_contiguous(len(reads), comm.size)
+    if comm.rank == 0:
+        # Cover+disjoint guard (vectorised, cheap at genome scale): a
+        # partitioner regression must fail loudly before any rank maps a
+        # read it doesn't own — or silently drops one nobody owns.
+        validate_partition(slices, len(reads))
+    local_reads = take(reads, slices[comm.rank])
     acc, stats = pipe.map_reads(local_reads)
     if calibration:
         comm.account_compute(

@@ -124,7 +124,10 @@ class TestSerialVsMultiprocessing:
         assert [c.pos for c in serial.snps] == [c.pos for c in parallel.snps]
         # The mp run reports the merged worker tree plus its own stages.
         assert p.span_count("map_parallel") == 1
-        assert p.span_count("map_reads") == 3  # one per worker chunk
+        # One map_reads span per dispatched chunk (chunks = workers x
+        # chunks-per-worker, capped by the read count).
+        n_chunks = min(len(reads), 3 * PipelineConfig().mp_chunks_per_worker)
+        assert p.span_count("map_reads") == n_chunks
         assert p.span_seconds("map_reads/align") > 0
 
 
@@ -162,8 +165,9 @@ class TestCliMetricsJson:
             assert set(doc) == {"schema", "counters", "gauges", "spans", "totals"}
         for name in INVARIANT_COUNTERS:
             assert doc1["counters"][name] == doc4["counters"][name], name
-        # Gauges agree except the mp-only worker-count gauge.
+        # Gauges agree except the mp-only worker-count gauges.
         assert doc4["gauges"].pop("mp.workers") == 4
+        assert doc4["gauges"].pop("mp.workers_effective") == 4
         assert doc1["gauges"] == doc4["gauges"]
         # Times are consistent, not identical: both runs report a positive
         # span total and every tree totals its children.

@@ -69,6 +69,23 @@ class TestHelpers:
         with pytest.raises(PartitionError, match="out of range"):
             validate_partition([range(0, 6)], 5)
 
+    def test_validate_rejects_negative_index(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            validate_partition([range(-1, 4), range(4, 5)], 5)
+
+    def test_validate_accepts_strided_tiling(self):
+        # Round-robin style strided ranges tile without materialising a
+        # contiguous block — the vectorised path must handle step > 1.
+        validate_partition([range(0, 10, 2), range(1, 10, 2)], 10)
+
+    def test_validate_empty_ranges_ignored(self):
+        validate_partition([range(0, 5), range(5, 5), range(5, 5)], 5)
+
+    def test_validate_scales_to_large_counts(self):
+        n = 500_000
+        validate_partition(partition_reads_contiguous(n, 7), n)
+        validate_partition(partition_reads_round_robin(n, 7), n)
+
 
 @settings(max_examples=50, deadline=None)
 @given(

@@ -64,6 +64,29 @@ class TestPipelineConfig:
             band_mode="fixed", band_w=1000
         ).band_cell_fraction(62) == 1.0
 
+    def test_mp_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.mp_start_method == "spawn"
+        assert cfg.mp_chunk_timeout == 120.0
+        assert cfg.mp_max_retries == 2
+        assert cfg.mp_chunks_per_worker == 4
+        assert cfg.mp_fault_spec == ""
+
+    def test_mp_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(mp_start_method="thread")
+        with pytest.raises(ConfigError):
+            PipelineConfig(mp_chunk_timeout=0.0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(mp_max_retries=-1)
+        with pytest.raises(ConfigError):
+            PipelineConfig(mp_backoff_base=-0.1)
+        with pytest.raises(ConfigError):
+            PipelineConfig(mp_chunks_per_worker=0)
+        # A malformed fault spec fails at config time, not mid-run.
+        with pytest.raises(ConfigError):
+            PipelineConfig(mp_fault_spec="segfault:chunk=0")
+
     def test_subconfigs_carried(self):
         from repro.calling.caller import CallerConfig
         from repro.index.seeding import SeederConfig

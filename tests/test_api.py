@@ -76,6 +76,19 @@ class TestEngine:
     def test_bad_workers_rejected(self, workload):
         with pytest.raises(PipelineError):
             Engine(workload.reference).run(workload.reads, workers=0)
+        with pytest.raises(PipelineError):
+            Engine(workload.reference).map_reads(workload.reads, workers=0)
+
+    def test_staged_parallel_map_matches_staged_serial(self, workload):
+        config = PipelineConfig(mp_start_method="fork")
+        serial = Engine(workload.reference, config)
+        parallel = Engine(workload.reference, config)
+        half = len(workload.reads) // 2
+        for batch in (workload.reads[:half], workload.reads[half:]):
+            serial.map_reads(batch)
+            parallel.map_reads(batch, workers=2)
+        assert parallel._stats.n_reads == len(workload.reads)
+        assert snp_keys(parallel.call().snps) == snp_keys(serial.call().snps)
 
     def test_from_fasta(self, workload, tmp_path):
         path = tmp_path / "ref.fa"
