@@ -1,0 +1,124 @@
+"""End-to-end pipeline benchmark: serial vs workers=2, plus tracing cost.
+
+Not a pytest-benchmark target (single run each way, like the banded
+pipeline comparison in ``bench_kernels.py``): the payload is the
+throughput ledger — wall seconds, reads/sec and DP cells/sec for the
+serial and two-worker pipelines at a fixed seed — persisted as
+``BENCH_pipeline.json`` for CI to publish and for ``repro metrics diff``
+to gate against.
+
+The tracing cost contract rides along: the flight recorder's hooks are
+permanently compiled into the hot paths, so the disabled path must stay
+under 2% of pipeline wall time (DESIGN.md §11).  The bench measures the
+actual disabled-hook cost against the events a traced run records and
+asserts the budget, so the bound is checked at pipeline scale, not just
+in the microbenchmark unit test.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import OUTPUT_DIR, record
+
+import repro.observability.trace as trace
+from repro.observability import scope
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+from repro.pipeline.mp_backend import run_multiprocessing
+
+
+def _dp_cells(counters) -> int:
+    return int(
+        counters.get("phmm.forward_cells", 0)
+        + counters.get("phmm.backward_cells", 0)
+    )
+
+
+def _lane(calls, wall: float, counters, n_reads: int) -> dict:
+    cells = _dp_cells(counters)
+    return {
+        "wall_seconds": wall,
+        "reads_per_second": n_reads / wall,
+        "dp_cells": cells,
+        "dp_cells_per_second": cells / wall,
+        "snps": len(calls),
+    }
+
+
+def test_pipeline_serial_vs_workers(scaling_workload):
+    wl = scaling_workload
+    config = PipelineConfig()
+
+    def run(n_workers: int):
+        with scope() as reg:
+            t0 = time.perf_counter()
+            if n_workers == 1:
+                result = GnumapSnp(wl.reference, config).run(wl.reads)
+            else:
+                result = run_multiprocessing(
+                    wl.reference, wl.reads, config, n_workers=n_workers
+                )
+            wall = time.perf_counter() - t0
+            snap = reg.snapshot()
+        calls = [(s.pos, s.ref_name, s.alt_name) for s in result.snps]
+        return calls, wall, snap
+
+    serial_calls, serial_wall, serial_snap = run(1)
+    mp_calls, mp_wall, mp_snap = run(2)
+    assert mp_calls == serial_calls, "workers=2 changed the SNP output"
+
+    # Traced serial run: how many events does a real pipeline emit, and
+    # what does recording them cost?
+    trace.enable()
+    try:
+        traced_calls, traced_wall, traced_snap = run(1)
+    finally:
+        trace.disable()
+    assert traced_calls == serial_calls, "tracing changed the SNP output"
+    n_events = len(traced_snap.events) + int(
+        traced_snap.counter("obs.trace_dropped")
+    )
+    enabled_overhead_pct = 100.0 * (traced_wall - serial_wall) / serial_wall
+
+    # Disabled-path budget: replay the same number of hook crossings with
+    # tracing off and price them against the untraced wall time.
+    assert not trace.enabled()
+    t0 = time.perf_counter()
+    for _ in range(max(n_events, 1)):
+        trace.instant("bench.disabled_hook", chunk=0)
+    disabled_hook_seconds = time.perf_counter() - t0
+    disabled_overhead_pct = 100.0 * disabled_hook_seconds / serial_wall
+    assert disabled_overhead_pct < 2.0, (
+        f"disabled tracing hooks cost {disabled_overhead_pct:.3f}% of the "
+        "serial pipeline wall — over the 2% budget"
+    )
+
+    payload = {
+        "workload": {"reads": wl.n_reads, "genome_bp": len(wl.reference)},
+        "serial": _lane(serial_calls, serial_wall, serial_snap.counters, wl.n_reads),
+        "workers2": {
+            **_lane(mp_calls, mp_wall, mp_snap.counters, wl.n_reads),
+            "speedup": serial_wall / mp_wall,
+        },
+        "tracing": {
+            "events_recorded": n_events,
+            "enabled_overhead_pct": enabled_overhead_pct,
+            "disabled_overhead_pct": disabled_overhead_pct,
+        },
+        "calls_identical": mp_calls == serial_calls,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "BENCH_pipeline.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    record(
+        "Pipeline throughput",
+        f"serial: {wl.n_reads / serial_wall:,.0f} reads/s "
+        f"({_dp_cells(serial_snap.counters) / serial_wall:,.0f} DP cells/s) | "
+        f"workers=2: {wl.n_reads / mp_wall:,.0f} reads/s "
+        f"(speedup {serial_wall / mp_wall:.2f}x) | "
+        f"tracing: {n_events:,} events, enabled +{enabled_overhead_pct:.1f}%, "
+        f"disabled hooks {disabled_overhead_pct:.3f}% (<2% budget) | "
+        f"calls identical: {mp_calls == serial_calls}",
+    )

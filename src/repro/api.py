@@ -176,21 +176,56 @@ class Engine:
         self._timers = TimerRegistry()
 
     # -- one-shot verb ----------------------------------------------------------
-    def run(self, reads: "list[Read]", workers: int = 1) -> CallResult:
+    def run(
+        self,
+        reads: "list[Read]",
+        workers: int = 1,
+        trace: "str | None" = None,
+    ) -> CallResult:
         """Full pipeline over ``reads`` with a fresh accumulator.
 
         ``workers > 1`` maps across that many real processes (identical
         output to serial; the reduction is order-deterministic).  Does not
         touch the engine's staged accumulator.
+
+        ``trace`` enables flight-recorder tracing for this call and writes
+        the resulting timeline to that path as Chrome trace-event JSON
+        (openable in ``chrome://tracing`` or https://ui.perfetto.dev), with
+        a run manifest embedded under ``otherData``.
         """
         if workers < 1:
             raise PipelineError(f"workers must be >= 1, got {workers}")
-        if workers == 1:
-            result = self._pipeline.run(reads)
-        else:
+
+        def execute() -> PipelineResult:
+            if workers == 1:
+                return self._pipeline.run(reads)
             from repro.pipeline.mp_backend import run_multiprocessing
 
-            result = run_multiprocessing(
+            return run_multiprocessing(
                 self.reference, reads, self.config, n_workers=workers
             )
+
+        if trace is None:
+            return CallResult.from_pipeline_result(execute())
+
+        import repro.observability.trace as trace_mod
+        from repro.observability import scope, write_chrome_trace
+        from repro.observability.manifest import run_manifest
+
+        was_enabled = trace_mod.enabled()
+        trace_mod.enable()
+        try:
+            with scope() as reg:
+                result = execute()
+                snapshot = reg.snapshot()
+        finally:
+            if not was_enabled:
+                trace_mod.disable()
+        write_chrome_trace(
+            trace,
+            snapshot,
+            manifest=run_manifest(
+                config=self.config, workers=workers, command="Engine.run"
+            ),
+        )
         return CallResult.from_pipeline_result(result)

@@ -14,8 +14,14 @@ Four subcommands cover the full workflow on files:
     Score a SNP TSV against a truth catalog TSV.
 ``experiments``
     Regenerate one of the paper's tables/figures at a chosen scale.
+``metrics diff``
+    Compare two metrics/bench JSON documents; with
+    ``--fail-on-regression PCT`` exit non-zero when any directional metric
+    regressed beyond the threshold (the CI perf gate).
 
-Every command is deterministic under ``--seed``.
+Every command is deterministic under ``--seed``.  ``--metrics-json`` and
+``--trace`` write self-describing artifacts (a run manifest with the
+config, seed, worker count and package version is embedded in both).
 """
 
 from __future__ import annotations
@@ -66,6 +72,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
     )
+    args._config = config
     engine = Engine.from_fasta(args.reference, config)
     reads = read_fastq(args.reads)
     result = engine.run(reads, workers=args.workers)
@@ -107,6 +114,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         band_w=args.band_width,
         band_tolerance=args.band_tolerance,
     )
+    args._config = config
     engine = Engine.from_fasta(args.reference, config)
     reads = read_fastq(args.reads)
     placements = collect_placements(
@@ -169,13 +177,36 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from repro.observability import diff_files, format_diff, has_regressions
+
+    entries = diff_files(args.baseline, args.current)
+    print(format_diff(entries, threshold_pct=args.fail_on_regression))
+    if args.fail_on_regression is not None and has_regressions(
+        entries, args.fail_on_regression
+    ):
+        return 1
+    return 0
+
+
 def _add_metrics_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--metrics-json",
         default=None,
         metavar="PATH",
-        help="write the run's metrics (span tree, counters, gauges) as "
-        "repro.metrics/v1 JSON",
+        help="write the run's metrics (span tree, counters, gauges, "
+        "histograms) as repro.metrics/v2 JSON with a run manifest",
+    )
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable flight-recorder tracing and write the run's timeline "
+        "as Chrome trace-event JSON (open in chrome://tracing or "
+        "ui.perfetto.dev; equivalent activation: REPRO_TRACE=1)",
     )
 
 
@@ -281,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("-v", "--verbose", action="store_true")
     _add_band_args(p_call)
     _add_metrics_arg(p_call)
+    _add_trace_arg(p_call)
     _add_sanitize_arg(p_call)
     p_call.set_defaults(func=_cmd_call)
 
@@ -292,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--max-secondary", type=int, default=4)
     _add_band_args(p_map)
     _add_metrics_arg(p_map)
+    _add_trace_arg(p_map)
     _add_sanitize_arg(p_map)
     p_map.set_defaults(func=_cmd_map)
 
@@ -310,7 +343,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sanitize_arg(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="inspect and compare exported metrics JSON"
+    )
+    metrics_sub = p_metrics.add_subparsers(dest="metrics_command", required=True)
+    p_diff = metrics_sub.add_parser(
+        "diff",
+        help="compare two metrics/bench JSON files (the CI perf gate)",
+    )
+    p_diff.add_argument("baseline", help="baseline metrics or BENCH JSON")
+    p_diff.add_argument("current", help="current metrics or BENCH JSON")
+    p_diff.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero if any directional metric regressed by more "
+        "than PCT percent (e.g. 20 for a 20%% wall-time budget)",
+    )
+    p_diff.set_defaults(func=_cmd_metrics_diff)
+
     return parser
+
+
+def _build_manifest(args: argparse.Namespace, argv: "list[str] | None") -> dict:
+    from repro.observability.manifest import run_manifest
+
+    return run_manifest(
+        config=getattr(args, "_config", None),
+        seed=getattr(args, "seed", None),
+        workers=getattr(args, "workers", None),
+        command=getattr(args, "command", None),
+        argv=list(argv) if argv is not None else sys.argv[1:],
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -320,6 +385,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.phmm import sanitize
 
         sanitize.enable()
+    if getattr(args, "trace", None):
+        import repro.observability.trace as trace_mod
+
+        trace_mod.enable()
     try:
         rc = args.func(args)
     except ReproError as exc:
@@ -331,11 +400,28 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.observability import current, write_metrics_json
 
         try:
-            write_metrics_json(args.metrics_json, current().snapshot())
+            write_metrics_json(
+                args.metrics_json,
+                current().snapshot(),
+                manifest=_build_manifest(args, argv),
+            )
         except OSError as exc:
             print(f"error: cannot write metrics: {exc}", file=sys.stderr)
             return 2
         print(f"wrote metrics -> {args.metrics_json}")
+    if getattr(args, "trace", None):
+        from repro.observability import current, write_chrome_trace
+
+        try:
+            write_chrome_trace(
+                args.trace,
+                current().snapshot(),
+                manifest=_build_manifest(args, argv),
+            )
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote Chrome trace -> {args.trace}")
     return rc
 
 

@@ -1,25 +1,44 @@
 """Zero-dependency tracing/metrics subsystem.
 
-Instrumentation writes three kinds of data to the *current* registry:
+Instrumentation writes five kinds of data to the *current* registry:
 
 * **spans** — nested wall-clock regions (``with span("align"): ...``);
 * **counters** — monotonic sums (``current().inc("pipeline.reads", n)``);
-* **gauges** — high-water marks (``current().gauge_max("index.bytes", b)``).
+* **gauges** — high-water marks (``current().gauge_max("index.bytes", b)``);
+* **histograms** — log-spaced distributions
+  (``current().observe("mp.chunk_map_seconds", dt)``), surfaced as
+  p50/p90/p99;
+* **trace events** — timestamped flight-recorder timelines
+  (:mod:`repro.observability.trace`), exported as Chrome trace JSON via
+  :mod:`repro.observability.chrometrace`.
 
 Snapshots are picklable and merge associatively, so partial results from
 ``multiprocessing`` workers and simulated cluster ranks fold into one
-coherent tree.  See DESIGN.md ("Observability") for the counter naming
-scheme and the ``repro.metrics/v1`` JSON contract.
+coherent tree.  See DESIGN.md ("Observability", "Flight-recorder tracing")
+for the naming scheme and the ``repro.metrics/v2`` JSON contract;
+:mod:`repro.observability.diffing` turns two exported documents into a
+perf-regression gate.
 """
 
+from repro.observability.chrometrace import to_chrome_trace, write_chrome_trace
+from repro.observability.diffing import (
+    DiffEntry,
+    diff_documents,
+    diff_files,
+    format_diff,
+    has_regressions,
+)
 from repro.observability.export import (
     SCHEMA,
+    SCHEMA_V1,
     format_metrics_report,
     read_metrics_json,
     to_json,
     to_json_dict,
     write_metrics_json,
 )
+from repro.observability.histogram import Histogram
+from repro.observability.manifest import MANIFEST_SCHEMA, run_manifest
 from repro.observability.registry import (
     MetricsRegistry,
     current,
@@ -31,20 +50,31 @@ from repro.observability.snapshot import MetricsSnapshot, merge_snapshots
 from repro.observability.spans import current_path, detached, span
 
 __all__ = [
+    "MANIFEST_SCHEMA",
     "SCHEMA",
+    "SCHEMA_V1",
+    "DiffEntry",
+    "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
     "current",
     "current_path",
     "detached",
+    "diff_documents",
+    "diff_files",
+    "format_diff",
     "format_metrics_report",
     "global_registry",
+    "has_regressions",
     "merge_snapshots",
     "read_metrics_json",
+    "run_manifest",
     "scope",
     "span",
+    "to_chrome_trace",
     "to_json",
     "to_json_dict",
     "use",
+    "write_chrome_trace",
     "write_metrics_json",
 ]

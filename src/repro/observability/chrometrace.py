@@ -1,0 +1,99 @@
+"""Chrome trace-event JSON export for flight-recorder events.
+
+Turns the merged event tuples carried by a
+:class:`~repro.observability.snapshot.MetricsSnapshot` into the Chrome
+trace-event format (the ``{"traceEvents": [...]}`` object form), loadable
+in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+Lane mapping:
+
+* each process becomes a trace *process*, named
+  ``"<process label> (pid <pid>)"`` via a ``process_name`` metadata event;
+* each thread becomes a trace *thread*, named with its lane label
+  (``MainThread``, ``rank-3``, ...) via a ``thread_name`` metadata event;
+* span begin/end pairs map to ``"B"``/``"E"``, instants to thread-scoped
+  ``"i"`` events, counter samples to ``"C"`` events.
+
+Events are sorted by timestamp on export, so the concatenation order in
+which worker snapshots were folded never shows in the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.observability.snapshot import MetricsSnapshot
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(
+    source: "MetricsSnapshot | Iterable[tuple]",
+    manifest: "dict[str, Any] | None" = None,
+) -> "dict[str, Any]":
+    """Build the Chrome trace-event document from a snapshot or raw events.
+
+    ``manifest`` (see :func:`repro.observability.manifest.run_manifest`)
+    lands under ``otherData`` so the trace is self-describing.
+    """
+    events = source.events if isinstance(source, MetricsSnapshot) else tuple(source)
+    ordered = sorted(events, key=lambda ev: (ev[0], ev[3], ev[5]))
+
+    trace_events: list[dict[str, Any]] = []
+    seen_processes: set[int] = set()
+    seen_threads: set[tuple[int, int]] = set()
+    for ts_us, ph, name, pid, plabel, tid, tlabel, args in ordered:
+        if pid not in seen_processes:
+            seen_processes.add(pid)
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{plabel} (pid {pid})"},
+                }
+            )
+        if (pid, tid) not in seen_threads:
+            seen_threads.add((pid, tid))
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tlabel},
+                }
+            )
+        record: dict[str, Any] = {
+            "name": name,
+            "ph": ph,
+            "ts": ts_us,
+            "pid": pid,
+            "tid": tid,
+        }
+        if ph == "i":
+            record["s"] = "t"  # thread-scoped instant marker
+        if args:
+            record["args"] = dict(args)
+        trace_events.append(record)
+
+    document: dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if manifest is not None:
+        document["otherData"] = manifest
+    return document
+
+
+def write_chrome_trace(
+    path: str,
+    source: "MetricsSnapshot | Iterable[tuple]",
+    manifest: "dict[str, Any] | None" = None,
+) -> None:
+    """Write the trace document to ``path`` (canonical JSON form)."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps(to_chrome_trace(source, manifest), indent=2, sort_keys=True))
+        fh.write("\n")

@@ -4,9 +4,17 @@ The JSON document is a stable, versioned contract (pinned by a golden-file
 test) so downstream tooling can rely on it::
 
     {
-      "schema": "repro.metrics/v1",
+      "schema": "repro.metrics/v2",
+      "manifest": {"schema": "repro.manifest/v1", "seed": 2012, ...},
       "counters": {"pipeline.reads": 1000, ...},
       "gauges": {"index.bytes": 524288, ...},
+      "histograms": {
+        "mp.chunk_map_seconds": {
+          "count": 64, "sum": 1.93, "min": 0.011, "max": 0.092,
+          "p50": 0.031, "p90": 0.055, "p99": 0.092,
+          "buckets": {"-20": 3, "-19": 12, ...}
+        }
+      },
       "spans": {
         "map_reads": {
           "seconds": 1.25, "count": 1,
@@ -17,17 +25,34 @@ test) so downstream tooling can rely on it::
     }
 
 Counter values are written as-is (ints stay ints); span ``seconds`` are
-floats; keys are emitted sorted at every level.
+floats; histogram bucket keys are stringified bucket indices (JSON objects
+cannot have int keys — the reader converts back); keys are emitted sorted
+at every level.  ``manifest`` (see :mod:`repro.observability.manifest`) is
+optional and descriptive only.
+
+Schema history: ``repro.metrics/v1`` lacked ``histograms`` and
+``manifest``.  v1 documents remain readable — :func:`read_metrics_json`
+accepts both tags and treats missing sections as empty — but new documents
+are always written as v2.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Any
 
+from repro.errors import ObservabilityError
+from repro.observability.histogram import Histogram
 from repro.observability.snapshot import MetricsSnapshot
 
 #: Version tag of the JSON document; bump on breaking layout changes.
-SCHEMA = "repro.metrics/v1"
+SCHEMA = "repro.metrics/v2"
+
+#: The previous tag, still accepted by :func:`read_metrics_json`.
+SCHEMA_V1 = "repro.metrics/v1"
+
+#: Quantiles surfaced next to each histogram in the JSON and the report.
+_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
 
 
 def _sorted_tree(tree: "dict[str, dict]") -> "dict[str, dict]":
@@ -41,37 +66,83 @@ def _sorted_tree(tree: "dict[str, dict]") -> "dict[str, dict]":
     }
 
 
-def to_json_dict(snapshot: MetricsSnapshot) -> dict:
+def _histogram_json(data: "dict[str, Any]") -> "dict[str, Any]":
+    hist = Histogram.from_dict(data)
+    out: dict[str, Any] = {
+        "count": hist.count,
+        "sum": hist.total,
+        "buckets": {str(k): hist.buckets[k] for k in sorted(hist.buckets)},
+    }
+    if hist.count:
+        out["min"] = hist.vmin
+        out["max"] = hist.vmax
+        for q, label in _QUANTILES:
+            out[label] = hist.quantile(q)
+    return out
+
+
+def to_json_dict(
+    snapshot: MetricsSnapshot, manifest: "dict[str, Any] | None" = None
+) -> dict:
     """The schema'd plain-dict form of a snapshot."""
-    return {
+    out: dict[str, Any] = {
         "schema": SCHEMA,
         "counters": {k: snapshot.counters[k] for k in sorted(snapshot.counters)},
         "gauges": {k: snapshot.gauges[k] for k in sorted(snapshot.gauges)},
+        "histograms": {
+            k: _histogram_json(snapshot.histograms[k])
+            for k in sorted(snapshot.histograms)
+        },
         "spans": _sorted_tree(snapshot.spans),
         "totals": {"span_seconds": snapshot.total_span_seconds()},
     }
+    if manifest is not None:
+        out["manifest"] = manifest
+    return out
 
 
-def to_json(snapshot: MetricsSnapshot) -> str:
+def to_json(
+    snapshot: MetricsSnapshot, manifest: "dict[str, Any] | None" = None
+) -> str:
     """Canonical JSON text (sorted keys, 2-space indent, trailing newline)."""
-    return json.dumps(to_json_dict(snapshot), indent=2, sort_keys=True) + "\n"
+    return json.dumps(to_json_dict(snapshot, manifest), indent=2, sort_keys=True) + "\n"
 
 
-def write_metrics_json(path: str, snapshot: MetricsSnapshot) -> None:
+def write_metrics_json(
+    path: str,
+    snapshot: MetricsSnapshot,
+    manifest: "dict[str, Any] | None" = None,
+) -> None:
     """Write the snapshot to ``path`` in the schema'd JSON form."""
     with open(path, "w") as fh:
-        fh.write(to_json(snapshot))
+        fh.write(to_json(snapshot, manifest))
 
 
 def read_metrics_json(path: str) -> MetricsSnapshot:
-    """Load a document written by :func:`write_metrics_json`."""
+    """Load a document written by :func:`write_metrics_json` (v1 or v2).
+
+    The derived per-histogram quantile keys are recomputed from buckets on
+    demand, so the round-trip stays lossless for the merge algebra.
+    """
     with open(path) as fh:
         data = json.load(fh)
+    schema = data.get("schema")
+    if schema not in (SCHEMA, SCHEMA_V1):
+        raise ObservabilityError(
+            f"unknown metrics schema {schema!r} in {path} "
+            f"(expected {SCHEMA!r} or {SCHEMA_V1!r})"
+        )
     return MetricsSnapshot.from_dict(data)
 
 
+#: Counters grouped into dedicated report sections (satellite: fault-smoke
+#: CI logs should read as a story, not an alphabetical dump).
+_RECOVERY_PREFIX = "mp."
+_BANDING_KEYS = ("band_cell_fraction",)
+
+
 def format_metrics_report(snapshot: MetricsSnapshot) -> str:
-    """Human-readable span tree + counters + gauges (CLI/bench output)."""
+    """Human-readable report: spans, recovery, banding, histograms, rest."""
     lines: list[str] = []
 
     def walk(tree: "dict[str, dict]", depth: int) -> None:
@@ -83,18 +154,58 @@ def format_metrics_report(snapshot: MetricsSnapshot) -> str:
             )
             walk(node["children"], depth + 1)
 
+    def table(items: "dict[str, Any]") -> None:
+        width = max(len(k) for k in items)
+        for k in sorted(items):
+            lines.append(f"  {k:<{width}}  {items[k]:,}")
+
     if snapshot.spans:
         lines.append("spans:")
         walk(snapshot.spans, 1)
-    if snapshot.counters:
+
+    recovery = {
+        k: v for k, v in snapshot.counters.items() if k.startswith(_RECOVERY_PREFIX)
+    }
+    if recovery:
+        lines.append("parallel recovery:")
+        table(recovery)
+
+    banding = {
+        k: v
+        for section in (snapshot.gauges, snapshot.counters)
+        for k, v in section.items()
+        if k in _BANDING_KEYS or k.startswith("phmm.band_")
+    }
+    if banding:
+        lines.append("banding:")
+        table(banding)
+
+    if snapshot.histograms:
+        lines.append("histograms:")
+        width = max(len(k) for k in snapshot.histograms)
+        for k in sorted(snapshot.histograms):
+            hist = Histogram.from_dict(snapshot.histograms[k])
+            if hist.count == 0:
+                lines.append(f"  {k:<{width}}  (empty)")
+                continue
+            quants = "  ".join(
+                f"{label}={hist.quantile(q):g}" for q, label in _QUANTILES
+            )
+            lines.append(
+                f"  {k:<{width}}  n={hist.count:,}  "
+                f"min={hist.vmin:g}  {quants}  max={hist.vmax:g}"
+            )
+
+    other_counters = {
+        k: v
+        for k, v in snapshot.counters.items()
+        if k not in recovery and k not in banding
+    }
+    if other_counters:
         lines.append("counters:")
-        width = max(len(k) for k in snapshot.counters)
-        for k in sorted(snapshot.counters):
-            v = snapshot.counters[k]
-            lines.append(f"  {k:<{width}}  {v:,}")
-    if snapshot.gauges:
+        table(other_counters)
+    other_gauges = {k: v for k, v in snapshot.gauges.items() if k not in banding}
+    if other_gauges:
         lines.append("gauges:")
-        width = max(len(k) for k in snapshot.gauges)
-        for k in sorted(snapshot.gauges):
-            lines.append(f"  {k:<{width}}  {snapshot.gauges[k]:,}")
+        table(other_gauges)
     return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,78 @@
+"""Run manifests: the self-describing header of exported artifacts.
+
+A metrics JSON or Chrome trace read weeks later is useless without the
+questions "which config? which seed? how many workers? which package
+version?" answered inside the file itself.  :func:`run_manifest` builds a
+small JSON-able dict answering them, and the exporters embed it under a
+``manifest`` key (metrics v2) / ``otherData`` (Chrome trace).
+
+The manifest is descriptive, not load-bearing: readers must tolerate
+missing keys, and nothing in the pipeline consumes it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import platform
+from typing import Any, Mapping
+
+#: Version tag of the manifest layout; bump on breaking changes.
+MANIFEST_SCHEMA = "repro.manifest/v1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-able plain data (lossy by design:
+    a manifest describes a run, it does not have to round-trip one)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def _package_version() -> str:
+    try:
+        import repro
+
+        return str(getattr(repro, "__version__", "unknown"))
+    except ImportError:  # pragma: no cover - repro is always importable here
+        return "unknown"
+
+
+def run_manifest(
+    config: Any = None,
+    seed: "int | None" = None,
+    workers: "int | None" = None,
+    command: "str | None" = None,
+    argv: "list[str] | None" = None,
+) -> "dict[str, Any]":
+    """Build the self-description header for exported metrics/trace JSON.
+
+    ``config`` may be a dataclass (e.g. :class:`repro.config.PipelineConfig`),
+    a mapping, or anything else (stringified).  Only provided fields are
+    emitted, so manifests stay small and diffs stay quiet.
+    """
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "package": "repro",
+        "version": _package_version(),
+        "python": platform.python_version(),
+        "start_method": multiprocessing.get_start_method(allow_none=True)
+        or "unset",
+    }
+    if config is not None:
+        manifest["config"] = _jsonable(config)
+    if seed is not None:
+        manifest["seed"] = int(seed)
+    if workers is not None:
+        manifest["workers"] = int(workers)
+    if command is not None:
+        manifest["command"] = command
+    if argv is not None:
+        manifest["argv"] = [str(a) for a in argv]
+    return manifest

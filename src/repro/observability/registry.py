@@ -20,10 +20,14 @@ folds it in with :meth:`MetricsRegistry.absorb`.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
+
+import numpy as np
 
 from repro.errors import ObservabilityError
+from repro.observability.histogram import Histogram
 from repro.observability.snapshot import (
     PATH_SEP,
     MetricsSnapshot,
@@ -31,9 +35,31 @@ from repro.observability.snapshot import (
     _merge_span_trees,
 )
 
+#: Default flight-recorder ring-buffer bound (events kept per registry).
+DEFAULT_EVENT_CAPACITY = 65536
+
+_event_capacity: int = DEFAULT_EVENT_CAPACITY
+
+
+def set_event_capacity(capacity: int) -> None:
+    """Bound the per-registry event ring buffer (newest events win).
+
+    Applies to ring buffers created after the call; existing registries
+    keep their bound.
+    """
+    global _event_capacity
+    if capacity < 1:
+        raise ObservabilityError(f"event capacity must be >= 1, got {capacity}")
+    _event_capacity = capacity
+
+
+def event_capacity() -> int:
+    """The current ring-buffer bound for new registries."""
+    return _event_capacity
+
 
 class MetricsRegistry:
-    """Counters + gauges + span tree behind one lock.
+    """Counters + gauges + histograms + span tree + event ring, one lock.
 
     ``parent`` (optional) receives a tee of every write — see :func:`scope`.
     """
@@ -43,6 +69,9 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._spans: dict[str, dict] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._events: "deque[tuple] | None" = None
+        self._events_dropped: int = 0
         self.parent = parent
 
     # -- writes --------------------------------------------------------------
@@ -64,6 +93,48 @@ class MetricsRegistry:
                 self._gauges[name] = value
         if self.parent is not None:
             self.parent.gauge_max(name, value)
+
+    def observe(self, name: str, value: float, count: int = 1) -> None:
+        """Record ``value`` (``count`` times) into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.record(value, count)
+        if self.parent is not None:
+            self.parent.observe(name, value, count)
+
+    def observe_array(self, name: str, values: "np.ndarray | Any") -> None:
+        """Record every element of ``values`` into histogram ``name``
+        (vectorised; the cheap way to observe per-pair batch quantities)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.record_array(values)
+        if self.parent is not None:
+            self.parent.observe_array(name, values)
+
+    def record_event(self, event: "tuple") -> None:
+        """Append a flight-recorder event to the bounded ring buffer.
+
+        The newest :func:`event_capacity` events are kept; drops surface as
+        the ``obs.trace_dropped`` counter in snapshots, never silently.
+        """
+        with self._lock:
+            if self._events is None:
+                self._events = deque(maxlen=_event_capacity)
+            if (
+                self._events.maxlen is not None
+                and len(self._events) == self._events.maxlen
+            ):
+                self._events_dropped += 1
+            self._events.append(event)
+        if self.parent is not None:
+            self.parent.record_event(event)
 
     def record_span(
         self, path: "tuple[str, ...]", seconds: float, count: int = 1
@@ -106,6 +177,19 @@ class MetricsRegistry:
                 if k not in self._gauges or v > self._gauges[k]:
                     self._gauges[k] = v
             self._spans = _merge_span_trees(self._spans, snapshot.spans)
+            for k, h in snapshot.histograms.items():
+                hist = self._histograms.get(k)
+                if hist is None:
+                    hist = self._histograms[k] = Histogram()
+                hist.merge(Histogram.from_dict(h))
+            if snapshot.events:
+                if self._events is None:
+                    self._events = deque(maxlen=_event_capacity)
+                maxlen = self._events.maxlen or 0
+                overflow = len(self._events) + len(snapshot.events) - maxlen
+                if overflow > 0:
+                    self._events_dropped += min(overflow, len(snapshot.events))
+                self._events.extend(snapshot.events)
         if self.parent is not None:
             self.parent.absorb(snapshot)
 
@@ -113,10 +197,17 @@ class MetricsRegistry:
     def snapshot(self) -> MetricsSnapshot:
         """Deep-copied frozen view; safe to pickle, merge, or serialise."""
         with self._lock:
+            counters = dict(self._counters)
+            if self._events_dropped:
+                counters["obs.trace_dropped"] = (
+                    counters.get("obs.trace_dropped", 0) + self._events_dropped
+                )
             return MetricsSnapshot(
-                counters=dict(self._counters),
+                counters=counters,
                 gauges=dict(self._gauges),
                 spans=_copy_span_tree(self._spans),
+                histograms={k: h.as_dict() for k, h in self._histograms.items()},
+                events=tuple(self._events) if self._events else (),
             )
 
     def clear(self) -> None:
@@ -125,6 +216,9 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._spans.clear()
+            self._histograms.clear()
+            self._events = None
+            self._events_dropped = 0
 
 
 _GLOBAL = MetricsRegistry()

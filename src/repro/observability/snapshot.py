@@ -7,19 +7,31 @@ serialises to JSON without adapters) holding
 * ``counters`` — monotonic sums, merged by addition;
 * ``gauges`` — high-water marks, merged by maximum;
 * ``spans`` — a tree of timed regions, merged by recursive addition of
-  ``seconds`` and ``count`` and union of children.
+  ``seconds`` and ``count`` and union of children;
+* ``histograms`` — log-spaced value distributions
+  (:mod:`repro.observability.histogram`), merged by bucket-count addition;
+* ``events`` — flight-recorder trace events
+  (:mod:`repro.observability.trace`), merged by concatenation (consumers
+  order by timestamp, so fold order never shows).
 
-All three merge rules are associative and commutative with
+All merge rules are associative and commutative (events up to the
+timestamp reordering the exporters apply) with
 :meth:`MetricsSnapshot.empty` as the identity, so partial snapshots from any
 number of workers/ranks can be folded in any order and the parallel driver
 reports one coherent tree.  The unit tests pin associativity explicitly.
+
+``as_dict``/``from_dict`` cover the JSON-able sections (counters, gauges,
+spans, histograms); trace events travel only by pickle and are exported
+separately as Chrome trace JSON.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import ObservabilityError
+from repro.observability.histogram import merge_histogram_dicts
 
 #: Separator used by string span paths ("map_reads/align").
 PATH_SEP = "/"
@@ -46,6 +58,14 @@ def _merge_span_trees(a: "dict[str, dict]", b: "dict[str, dict]") -> "dict[str, 
     return out
 
 
+def _copy_histograms(histograms: "dict[str, Any]") -> "dict[str, dict]":
+    """Deep-copy histogram dicts, normalising bucket keys to ints (JSON
+    stringifies them; the round-trip must converge)."""
+    from repro.observability.histogram import Histogram
+
+    return {name: Histogram.from_dict(d).as_dict() for name, d in histograms.items()}
+
+
 def _copy_span_tree(tree: "dict[str, dict]") -> "dict[str, dict]":
     return {
         name: {
@@ -64,6 +84,8 @@ class MetricsSnapshot:
     counters: "dict[str, float]" = field(default_factory=dict)
     gauges: "dict[str, float]" = field(default_factory=dict)
     spans: "dict[str, dict]" = field(default_factory=dict)
+    histograms: "dict[str, dict]" = field(default_factory=dict)
+    events: "tuple[tuple, ...]" = ()
 
     @classmethod
     def empty(cls) -> "MetricsSnapshot":
@@ -79,10 +101,19 @@ class MetricsSnapshot:
         gauges = dict(self.gauges)
         for k, v in other.gauges.items():
             gauges[k] = max(gauges[k], v) if k in gauges else v
+        histograms = {k: dict(v) for k, v in self.histograms.items()}
+        for k, h in other.histograms.items():
+            histograms[k] = (
+                merge_histogram_dicts(histograms[k], h)
+                if k in histograms
+                else dict(h)
+            )
         return MetricsSnapshot(
             counters=counters,
             gauges=gauges,
             spans=_merge_span_trees(self.spans, other.spans),
+            histograms=histograms,
+            events=self.events + other.events,
         )
 
     # -- queries -------------------------------------------------------------
@@ -94,6 +125,25 @@ class MetricsSnapshot:
         keeps assertions and smoke checks free of ``.get`` boilerplate.
         """
         return float(self.counters.get(name, default))
+
+    def histogram(self, name: str) -> "dict | None":
+        """The named histogram's plain-dict form, or None if never observed."""
+        return self.histograms.get(name)
+
+    def histogram_quantile(self, name: str, q: float) -> float:
+        """Approximate q-quantile of the named histogram (NaN if absent)."""
+        from repro.observability.histogram import Histogram
+
+        data = self.histograms.get(name)
+        if data is None:
+            return float("nan")
+        return Histogram.from_dict(data).quantile(q)
+
+    def instants(self, name: "str | None" = None) -> "list[tuple]":
+        """Flight-recorder instant events, optionally filtered by name."""
+        return [
+            ev for ev in self.events if ev[1] == "i" and (name is None or ev[2] == name)
+        ]
 
     def span_node(self, path: str) -> "dict | None":
         """Span node at ``"a/b/c"``, or None if absent."""
@@ -139,10 +189,12 @@ class MetricsSnapshot:
 
     # -- plain-dict codec (JSON, explicit pickling) --------------------------
     def as_dict(self) -> dict:
+        """JSON-able sections only; trace events travel by pickle, not here."""
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "spans": _copy_span_tree(self.spans),
+            "histograms": _copy_histograms(self.histograms),
         }
 
     @classmethod
@@ -154,6 +206,7 @@ class MetricsSnapshot:
             counters=dict(data.get("counters", {})),
             gauges=dict(data.get("gauges", {})),
             spans=_copy_span_tree(spans),
+            histograms=_copy_histograms(data.get("histograms", {})),
         )
 
 

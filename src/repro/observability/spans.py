@@ -7,6 +7,12 @@ exception-safe: the time is recorded and the stack restored whether the
 block returns or raises.  Each thread has its own stack, so simulated
 cluster ranks (threads) build independent paths that merge in the shared
 registry tree.
+
+When flight-recorder tracing is enabled (:mod:`repro.observability.trace`)
+every span additionally emits paired begin/end timeline events, so the
+aggregated tree and the Chrome trace come from the same instrumentation
+points.  The enablement flag is sampled once at span entry so a span whose
+body toggles tracing still emits balanced pairs.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
+
+import repro.observability.trace as _trace
 
 from repro.errors import ObservabilityError
 from repro.observability.registry import current
@@ -56,10 +64,15 @@ def span(name: str) -> "Iterator[None]":
         )
     path = current_path() + (name,)
     _STACK.path = path
+    tracing = _trace.enabled()
+    if tracing:
+        _trace.span_begin(name)
     started = time.perf_counter()
     try:
         yield
     finally:
         elapsed = time.perf_counter() - started
         _STACK.path = path[:-1]
+        if tracing:
+            _trace.span_end(name)
         current().record_span(path, elapsed)

@@ -1,0 +1,173 @@
+"""Flight-recorder tracing: timestamped events with lane identity.
+
+Aggregated spans say *where time went*; they cannot show which worker was
+stalled while a chunk was retried.  This module adds the missing timeline:
+when tracing is enabled, instrumentation appends **timestamped events** to
+the current registry's bounded ring buffer —
+
+* span begin/end pairs (``ph`` ``"B"``/``"E"``), emitted automatically by
+  :func:`repro.observability.spans.span`;
+* instants (``ph`` ``"i"``) for point occurrences such as
+  ``mp.chunk_retry``, ``mp.worker_death`` or ``phmm.band_escape``;
+* counter samples (``ph`` ``"C"``) graphing a counter's value over time.
+
+Every event carries its **lane identity**: ``(pid, process label, thread
+id, thread label)``.  Worker processes label themselves in the pool
+initializer; simulated cluster ranks get their lane for free from their
+``rank-N`` thread names.  Events are plain tuples inside
+:class:`~repro.observability.snapshot.MetricsSnapshot`, so they ride the
+existing picklable-snapshot machinery home from spawn/fork workers and
+merge (by concatenation; order is normalised at export) exactly like
+counters do.  :mod:`repro.observability.chrometrace` turns the merged
+events into Chrome trace-event JSON for ``chrome://tracing`` / Perfetto.
+
+Overhead contract: with tracing **disabled** (the default) every hook is a
+module-flag check and an immediate return — no clock read, no allocation
+beyond the caller's kwargs — budgeted well under 2% of pipeline wall time
+(pinned by ``tests/observability/test_trace.py``).  The ring buffer bounds
+enabled-mode memory: the newest :func:`capacity` events are kept per
+registry and drops are surfaced as the ``obs.trace_dropped`` counter, never
+silently.
+
+Activation: :func:`enable` (the CLI's ``--trace`` / ``Engine.run(trace=)``
+call it), or the ``REPRO_TRACE`` environment variable — which spawn/fork
+workers inherit, while programmatic enablement is propagated explicitly
+through worker initializers.
+
+Timestamps are wall-clock microseconds (``time.time_ns() // 1000``) so
+lanes from different processes share one timebase.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import repro.observability.registry as _registry
+
+__all__ = [
+    "TraceEvent",
+    "counter_sample",
+    "disable",
+    "enable",
+    "enabled",
+    "instant",
+    "process_label",
+    "set_process_label",
+    "set_thread_label",
+    "thread_lane",
+]
+
+#: One recorded event:
+#: ``(ts_us, ph, name, pid, process_label, tid, thread_label, args)``.
+#: ``ph`` follows the Chrome trace-event phase vocabulary ("B", "E", "i",
+#: "C"); ``args`` is a small JSON-able dict or None.
+TraceEvent = "tuple[int, str, str, int, str, int, str, dict[str, Any] | None]"
+
+_enabled: bool = bool(os.environ.get("REPRO_TRACE", "").strip())
+_process_label: str = "main"
+_thread_local = threading.local()
+
+
+def enabled() -> bool:
+    """Whether event recording is on in this process."""
+    return _enabled
+
+
+def enable(capacity: "int | None" = None) -> None:
+    """Turn on event recording (optionally resizing the ring buffer).
+
+    ``capacity`` bounds how many of the newest events each registry keeps
+    (see :func:`repro.observability.registry.set_event_capacity`).
+    """
+    global _enabled
+    if capacity is not None:
+        _registry.set_event_capacity(capacity)
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn off event recording (already-recorded events are kept)."""
+    global _enabled
+    _enabled = False
+
+
+def set_process_label(label: str) -> None:
+    """Name this process's lane (e.g. ``"worker"``; default ``"main"``).
+
+    Worker initializers call this so exported timelines read as
+    ``worker (pid 4242)`` instead of bare pids.
+    """
+    global _process_label
+    _process_label = label
+
+
+def process_label() -> str:
+    """This process's lane label."""
+    return _process_label
+
+
+def set_thread_label(label: "str | None") -> None:
+    """Override the calling thread's lane label (None restores the default,
+    which is the thread's own name — ``rank-3`` threads need no override)."""
+    _thread_local.label = label
+
+
+def _thread_label() -> str:
+    label = getattr(_thread_local, "label", None)
+    return label if label is not None else threading.current_thread().name
+
+
+@contextmanager
+def thread_lane(label: str) -> "Iterator[None]":
+    """Label the calling thread's lane for the duration of the block."""
+    prev = getattr(_thread_local, "label", None)
+    _thread_local.label = label
+    try:
+        yield
+    finally:
+        _thread_local.label = prev
+
+
+def _event(ph: str, name: str, args: "dict[str, Any] | None") -> "tuple[int, str, str, int, str, int, str, dict[str, Any] | None]":
+    return (
+        time.time_ns() // 1000,
+        ph,
+        name,
+        os.getpid(),
+        _process_label,
+        threading.get_ident(),
+        _thread_label(),
+        args,
+    )
+
+
+def instant(name: str, **args: Any) -> None:
+    """Record a point event (``mp.chunk_retry``-style); no-op when disabled.
+
+    Names follow the ``subsystem.metric`` grammar (replint RPL601);
+    ``args`` must be small JSON-able scalars.
+    """
+    if not _enabled:
+        return
+    _registry.current().record_event(_event("i", name, args or None))
+
+
+def counter_sample(name: str, value: float) -> None:
+    """Record a counter's value at this instant (a ``"C"`` graph point)."""
+    if not _enabled:
+        return
+    _registry.current().record_event(_event("C", name, {"value": value}))
+
+
+def span_begin(name: str) -> None:
+    """Record a span-begin event (called by the span machinery)."""
+    _registry.current().record_event(_event("B", name, None))
+
+
+def span_end(name: str) -> None:
+    """Record a span-end event (called by the span machinery)."""
+    _registry.current().record_event(_event("E", name, None))

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
 from typing import TYPE_CHECKING, Any, Callable
 
+import repro.observability.trace as trace
 from repro.observability import current
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -236,8 +237,16 @@ class ChunkDispatcher:
                 "error": "chunk_errors",
                 "partial_reject": "partial_rejects",
             }.get(kind)
+            instant = {
+                "timeout": "mp.chunk_timeout",
+                "crash": "mp.worker_death",
+                "error": "mp.chunk_error",
+                "partial_reject": "mp.partial_reject",
+            }.get(kind)
             if counter is not None:
                 reg.inc(f"{self._prefix}.{counter}")
+            if instant is not None:
+                trace.instant(instant, chunk=cid, attempt=attempt, detail=detail)
             if attempt >= self._max_retries:
                 fallback_set.add(cid)
                 outcome.fallback.append(cid)
@@ -246,6 +255,10 @@ class ChunkDispatcher:
                 pending.append((cid, attempt + 1, time.monotonic() + delay))
                 outcome.retries += 1
                 reg.inc(f"{self._prefix}.chunk_retries")
+                trace.instant("mp.chunk_retry", chunk=cid, attempt=attempt + 1)
+                trace.counter_sample(
+                    f"{self._prefix}.chunk_retries", outcome.retries
+                )
 
         def replace(idx: int) -> None:
             nonlocal respawns_left
@@ -298,6 +311,12 @@ class ChunkDispatcher:
                         continue
                     slot.chunk = (cid, attempt)
                     slot.deadline = now + self._timeout
+                    trace.instant(
+                        "mp.chunk_dispatch",
+                        chunk=cid,
+                        attempt=attempt,
+                        worker_pid=slot.proc.pid,
+                    )
 
                 ready_conns = _conn_wait(
                     [s.conn for s in live], timeout=self._wait_time(live, now)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.observability.trace as trace
 from repro.errors import AlignmentError
 from repro.genome.alphabet import N as CODE_N
 from repro.observability import current as metrics
@@ -98,6 +99,12 @@ def align_batch(
     """
     pwms = np.asarray(pwms, dtype=np.float64)
     windows = np.asarray(windows)
+    # Per-pair DP work distribution (full kernels fill every N*M cell).
+    if pwms.shape[0]:
+        metrics().observe(
+            "phmm.pair_cells", float(pwms.shape[1] * windows.shape[1]),
+            count=int(pwms.shape[0]),
+        )
     pstar = emissions_batch(pwms, windows, params)
     if sanitize.enabled():
         sanitize.check_emissions(pstar)
@@ -190,11 +197,15 @@ def align_batch_banded(
         if sanitize.enabled():
             sanitize.check_emissions(pstar)
         band = BandSpec(n=N, m=M, center=int(center), width=band_w)
+        metrics().observe(
+            "phmm.pair_cells", float(band.n_cells()), count=int(sel.size)
+        )
         fwd = forward_banded(pstar, params, band, mode=mode)
         bwd = backward_banded(pstar, params, band, mode=mode)
         post = posteriors_batch(pstar, sub_pwms, sub_windows, fwd, bwd, params)
         if adaptive:
             edge = band_edge_mass(post.match_posterior, band)
+            metrics().observe_array("phmm.band_edge_mass", edge)
             escaped[sel] = (edge > tolerance) | ~np.isfinite(fwd.loglik)
         sub_z = z_vectors(post, edge_policy=edge_policy)
         z[sel] = sub_z
@@ -221,6 +232,7 @@ def align_batch_banded(
     esc = np.nonzero(escaped)[0]
     if esc.size:
         metrics().inc("phmm.band_escapes", int(esc.size))
+        trace.instant("phmm.band_escape", pairs=int(esc.size))
         full = align_batch(
             pwms[esc],
             windows[esc],

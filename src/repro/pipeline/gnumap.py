@@ -26,7 +26,7 @@ from repro.genome.reference import Reference
 from repro.index.hashindex import GenomeIndex
 from repro.index.seeding import Seeder
 from repro.memory.base import Accumulator, make_accumulator
-from repro.observability import scope, span
+from repro.observability import current, scope, span
 from repro.observability.snapshot import MetricsSnapshot
 from repro.phmm import sanitize
 from repro.phmm.alignment import align_batch, align_batch_banded, build_windows
@@ -266,6 +266,9 @@ class GnumapSnp:
                 weights = group_normalize(
                     outcome.loglik, groups, min_ratio=cfg.min_ratio
                 )
+            # Posterior mapping-weight distribution: how concentrated the
+            # per-read z mass is across candidates (1.0 = unique mapping).
+            current().observe_array("pipeline.mapping_weight", weights)
         with span("accumulate"):
             zw = z * weights[:, None, None]
             cols = (starts - cfg.pad)[:, None] + np.arange(width)[None, :]

@@ -27,9 +27,11 @@ longer depend on what a prior caller or the platform happened to set.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 
 import numpy as np
 
+import repro.observability.trace as trace
 from repro.errors import PipelineError
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
@@ -62,6 +64,7 @@ def _init_worker(
     config: PipelineConfig,
     sanitize_on: bool = False,
     fault_plan: "FaultPlan | None" = None,
+    trace_on: bool = False,
 ) -> None:
     # Sanctioned pool-initializer pattern: each worker process installs its
     # own pipeline once; no writes ever flow back to the parent.
@@ -69,6 +72,12 @@ def _init_worker(
         # Spawned workers don't inherit a programmatically-enabled sanitizer;
         # propagate the parent's setting explicitly.
         sanitize.enable()
+    if trace_on:
+        # Same propagation rule as the sanitizer: spawned workers start with
+        # tracing off unless REPRO_TRACE is set.  Label the lane so exported
+        # timelines read "worker (pid N)".
+        trace.enable()
+    trace.set_process_label("worker")
     reference = Reference(ref_codes, name=ref_name)
     _WORKER["pipe"] = GnumapSnp(reference, config)  # replint: disable=RPL301
     _WORKER["config"] = config  # replint: disable=RPL301
@@ -94,7 +103,10 @@ def _map_chunk(
     # detached(): forked workers inherit the parent's open span path (spawned
     # ones don't) — root the chunk's spans either way.
     with detached(), scope() as reg:
+        trace.instant("mp.chunk_begin", chunk=chunk_id, attempt=attempt)
+        started = time.perf_counter()
         acc, stats = pipe.map_reads(reads)
+        reg.observe("mp.chunk_map_seconds", time.perf_counter() - started)
         snapshot = reg.snapshot()
     buffers = acc.to_buffers()
     if plan is not None and plan.corrupts(chunk_id, attempt):
@@ -171,6 +183,7 @@ def map_reads_multiprocessing(
             config,
             sanitize.enabled(),
             plan if plan else None,
+            trace.enabled(),
         ),
         timeout=config.mp_chunk_timeout,
         max_retries=config.mp_max_retries,
@@ -196,8 +209,13 @@ def map_reads_multiprocessing(
                 # Retries exhausted: degrade gracefully — recompute this
                 # chunk serially in the parent so the run still completes
                 # with identical output.  Loud, never silent.
+                trace.instant("mp.serial_fallback", chunk=cid)
                 with span("serial_fallback"):
+                    started = time.perf_counter()
                     part_acc, part_stats = pipe.map_reads(chunk_reads[cid])
+                    reg.observe(
+                        "mp.chunk_map_seconds", time.perf_counter() - started
+                    )
                 reg.inc("mp.serial_fallbacks")
             if merged is None:
                 merged = part_acc

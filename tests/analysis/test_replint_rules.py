@@ -393,6 +393,79 @@ class TestRPL501UnguardedReductionLog:
         assert findings == []
 
 
+class TestRPL601MetricNameGrammar:
+    def test_trigger_no_subsystem_prefix(self):
+        findings = lint(
+            """
+            from repro.observability import current
+
+            def f():
+                current().inc("reads")
+            """
+        )
+        assert ids(findings) == ["RPL601"]
+        assert "subsystem.metric grammar" in findings[0].message
+
+    def test_trigger_not_snake_case(self):
+        findings = lint(
+            """
+            import repro.observability.trace as trace
+
+            def f():
+                trace.instant("MP.chunkRetry")
+            """
+        )
+        assert ids(findings) == ["RPL601"]
+
+    def test_trigger_unregistered_prefix(self):
+        findings = lint(
+            """
+            from repro.observability import current
+
+            def f(x):
+                current().observe("zz.latency", x)
+            """
+        )
+        assert ids(findings) == ["RPL601"]
+        assert "unregistered subsystem prefix 'zz'" in findings[0].message
+
+    def test_dynamic_names_out_of_scope(self):
+        findings = lint(
+            """
+            from repro.observability import current
+
+            def f(prefix):
+                current().inc(f"{prefix}.chunk_retries")
+            """
+        )
+        assert findings == []
+
+    def test_clean_registered_names(self):
+        findings = lint(
+            """
+            import repro.observability.trace as trace
+            from repro.observability import current
+
+            def f(x):
+                current().inc("mp.worker_deaths")
+                current().observe("phmm.pair_cells", x)
+                trace.counter_sample("pipeline.reads", 1)
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            from repro.observability import current
+
+            def f():
+                current().inc("reads")  # replint: disable=RPL601
+            """
+        )
+        assert findings == []
+
+
 class TestSuppressionMechanics:
     def test_disable_all(self):
         findings = lint(

@@ -1,0 +1,99 @@
+"""Chrome trace-event export: golden layout, lane metadata, ordering."""
+
+import json
+import pathlib
+
+import repro.observability.trace as trace
+from repro.observability import (
+    MetricsRegistry,
+    to_chrome_trace,
+    use,
+    write_chrome_trace,
+)
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent / "data" / "chrome_trace_golden.json"
+)
+
+#: Synthetic fixed timeline: a main-process span wrapping a chunk dispatch,
+#: a worker-process chunk with a retry instant, and a counter sample.
+#: (ts_us, ph, name, pid, process_label, tid, thread_label, args)
+FIXED_EVENTS = (
+    (1000, "B", "map_parallel", 100, "main", 11, "MainThread", None),
+    (1050, "i", "mp.chunk_dispatch", 100, "main", 11, "MainThread",
+     {"chunk": 0, "attempt": 0, "worker_pid": 200}),
+    (1100, "i", "mp.chunk_begin", 200, "worker", 21, "MainThread",
+     {"chunk": 0, "attempt": 0}),
+    (1200, "i", "mp.worker_death", 100, "main", 11, "MainThread",
+     {"chunk": 0, "attempt": 0, "detail": "worker died (exitcode=-9)"}),
+    (1250, "i", "mp.chunk_retry", 100, "main", 11, "MainThread",
+     {"chunk": 0, "attempt": 1}),
+    (1260, "C", "mp.chunk_retries", 100, "main", 11, "MainThread",
+     {"value": 1}),
+    (1300, "B", "map_reads", 201, "worker", 31, "MainThread", None),
+    (1400, "E", "map_reads", 201, "worker", 31, "MainThread", None),
+    (1500, "E", "map_parallel", 100, "main", 11, "MainThread", None),
+)
+
+
+class TestChromeTraceExport:
+    def test_matches_golden_file(self):
+        doc = to_chrome_trace(FIXED_EVENTS, manifest={"seed": 2012})
+        got = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        want = GOLDEN.read_text()
+        assert got == want, (
+            "Chrome trace layout drifted from tests/data/"
+            "chrome_trace_golden.json; if intentional, regenerate it from "
+            "to_chrome_trace(FIXED_EVENTS, manifest={'seed': 2012})"
+        )
+
+    def test_document_shape(self):
+        doc = to_chrome_trace(FIXED_EVENTS)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_every_process_and_thread_has_metadata(self):
+        doc = to_chrome_trace(FIXED_EVENTS)
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        proc_names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in meta
+            if ev["name"] == "process_name"
+        }
+        assert proc_names == {
+            100: "main (pid 100)",
+            200: "worker (pid 200)",
+            201: "worker (pid 201)",
+        }
+        thread_meta = {
+            (ev["pid"], ev["tid"])
+            for ev in meta
+            if ev["name"] == "thread_name"
+        }
+        assert thread_meta == {(100, 11), (200, 21), (201, 31)}
+
+    def test_events_sorted_by_timestamp_regardless_of_input_order(self):
+        doc = to_chrome_trace(tuple(reversed(FIXED_EVENTS)))
+        ts = [ev["ts"] for ev in doc["traceEvents"] if ev["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_instants_are_thread_scoped(self):
+        doc = to_chrome_trace(FIXED_EVENTS)
+        instants = [ev for ev in doc["traceEvents"] if ev["ph"] == "i"]
+        assert instants and all(ev["s"] == "t" for ev in instants)
+
+    def test_from_snapshot_and_file_write(self, tmp_path):
+        trace.enable()
+        try:
+            reg = MetricsRegistry()
+            with use(reg):
+                trace.instant("mp.chunk_begin", chunk=0)
+            snap = reg.snapshot()
+        finally:
+            trace.disable()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), snap, manifest={"workers": 2})
+        doc = json.loads(path.read_text())
+        assert doc["otherData"] == {"workers": 2}
+        names = [ev["name"] for ev in doc["traceEvents"]]
+        assert "mp.chunk_begin" in names

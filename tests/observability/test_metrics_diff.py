@@ -1,0 +1,126 @@
+"""The perf-regression gate: flattening, direction classes, thresholds."""
+
+import json
+
+import pytest
+
+from repro.observability.diffing import (
+    classify_direction,
+    diff_documents,
+    diff_files,
+    flatten_numeric,
+    format_diff,
+    has_regressions,
+)
+
+
+class TestDirectionClassifier:
+    @pytest.mark.parametrize("key", [
+        "full.wall_seconds", "banded.cells_banded", "mp.chunk_retries",
+        "mp.worker_deaths", "histograms.mp.chunk_map_seconds.p99",
+        "obs.trace_dropped", "trace_overhead_pct",
+    ])
+    def test_lower_is_better(self, key):
+        assert classify_direction(key) == "lower"
+
+    @pytest.mark.parametrize("key", [
+        # reads_per_second contains the "seconds" token too: the
+        # higher-is-better vocabulary must win.
+        "full.reads_per_second", "serial.dp_cells_per_second",
+        "speedup", "cell_reduction",
+    ])
+    def test_higher_is_better(self, key):
+        assert classify_direction(key) == "higher"
+
+    def test_neutral_otherwise(self):
+        assert classify_direction("workload.reads") == "neutral"
+
+
+class TestFlatten:
+    def test_nested_paths_and_metadata_skips(self):
+        doc = {
+            "schema": "repro.metrics/v2",
+            "manifest": {"seed": 7},
+            "counters": {"pipeline.reads": 100},
+            "histograms": {
+                "mp.chunk_map_seconds": {"p50": 0.5, "buckets": {"0": 4}}
+            },
+            "calls_identical": True,
+        }
+        flat = flatten_numeric(doc)
+        assert flat == {
+            "counters.pipeline.reads": 100.0,
+            "histograms.mp.chunk_map_seconds.p50": 0.5,
+        }
+
+
+class TestDiffAndGate:
+    BASE = {
+        "wall_seconds": 10.0,
+        "reads_per_second": 200.0,
+        "workload": {"reads": 1000},
+    }
+
+    def test_no_change_no_regression(self):
+        entries = diff_documents(self.BASE, dict(self.BASE))
+        assert not has_regressions(entries, 0.0)
+        assert all(e.pct_change == 0.0 for e in entries)
+
+    def test_wall_time_increase_is_a_regression(self):
+        current = dict(self.BASE, wall_seconds=13.0)  # +30%
+        entries = diff_documents(self.BASE, current)
+        assert has_regressions(entries, 20.0)
+        assert not has_regressions(entries, 35.0)
+        worst = entries[0]
+        assert worst.key == "wall_seconds"
+        assert worst.regression_pct == pytest.approx(30.0)
+
+    def test_throughput_drop_is_a_regression(self):
+        current = dict(self.BASE, reads_per_second=100.0)  # -50%
+        entries = diff_documents(self.BASE, current)
+        assert has_regressions(entries, 20.0)
+        assert entries[0].key == "reads_per_second"
+        assert entries[0].regression_pct == pytest.approx(50.0)
+
+    def test_improvements_never_gate(self):
+        current = dict(self.BASE, wall_seconds=5.0, reads_per_second=400.0)
+        entries = diff_documents(self.BASE, current)
+        assert not has_regressions(entries, 0.0)
+
+    def test_neutral_keys_never_gate(self):
+        current = dict(self.BASE, workload={"reads": 5000})
+        entries = diff_documents(self.BASE, current)
+        assert not has_regressions(entries, 0.0)
+
+    def test_file_diff_and_report(self, tmp_path):
+        base_p, curr_p = tmp_path / "base.json", tmp_path / "curr.json"
+        base_p.write_text(json.dumps(self.BASE))
+        curr_p.write_text(json.dumps(dict(self.BASE, wall_seconds=13.0)))
+        entries = diff_files(str(base_p), str(curr_p))
+        report = format_diff(entries, threshold_pct=20.0)
+        assert "wall_seconds" in report
+        assert "1 regression(s) beyond 20%" in report
+        clean = format_diff(diff_files(str(base_p), str(base_p)), 20.0)
+        assert "no regressions beyond 20%" in clean
+
+
+class TestCliGate:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = self._write(tmp_path, "base.json", {"wall_seconds": 10.0})
+        same = self._write(tmp_path, "same.json", {"wall_seconds": 10.5})
+        bad = self._write(tmp_path, "bad.json", {"wall_seconds": 13.0})
+        assert main(["metrics", "diff", base, same,
+                     "--fail-on-regression", "20"]) == 0
+        assert main(["metrics", "diff", base, bad,
+                     "--fail-on-regression", "20"]) == 1
+        # Without a threshold the diff is informational only.
+        assert main(["metrics", "diff", base, bad]) == 0
+        out = capsys.readouterr().out
+        assert "wall_seconds" in out

@@ -161,8 +161,14 @@ class TestCliMetricsJson:
         doc1 = self._call(d, ref, reads, workers=1)
         doc4 = self._call(d, ref, reads, workers=4)
         for doc in (doc1, doc4):
-            assert doc["schema"] == "repro.metrics/v1"
-            assert set(doc) == {"schema", "counters", "gauges", "spans", "totals"}
+            assert doc["schema"] == "repro.metrics/v2"
+            assert set(doc) == {
+                "schema", "counters", "gauges", "histograms", "spans",
+                "totals", "manifest",
+            }
+            assert doc["manifest"]["schema"] == "repro.manifest/v1"
+        # The parallel run records the per-chunk latency distribution.
+        assert doc4["histograms"]["mp.chunk_map_seconds"]["count"] > 0
         for name in INVARIANT_COUNTERS:
             assert doc1["counters"][name] == doc4["counters"][name], name
         # Gauges agree except the mp-only worker-count gauges.

@@ -1,0 +1,132 @@
+"""End-to-end flight-recorder integration: workers, faults, export.
+
+The load-bearing claim: a fault-injected parallel run's trace contains
+worker-lane events carried home from *spawned* processes (the hard
+transport case — no state inheritance), the recovery instants agree with
+the recovery counters, and the export is valid Chrome trace JSON with at
+least two worker lanes.
+"""
+
+import json
+import multiprocessing as mp
+import os
+
+import pytest
+
+import repro.observability.trace as trace
+from repro.experiments.workload import build_workload
+from repro.observability import scope, to_chrome_trace
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+from repro.pipeline.mp_backend import run_multiprocessing
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = build_workload(scale="tiny", seed=31)
+    wl.reads = wl.reads[:250]
+    return wl
+
+
+@pytest.fixture(autouse=True)
+def traced():
+    was_enabled = trace.enabled()
+    trace.enable()
+    yield
+    if not was_enabled:
+        trace.disable()
+
+
+def run_traced(workload, **config_kwargs):
+    config = PipelineConfig(**config_kwargs)
+    with scope() as reg:
+        result = run_multiprocessing(
+            workload.reference, workload.reads, config, n_workers=2
+        )
+        return result, reg.snapshot()
+
+
+class TestFaultInjectedTrace:
+    @pytest.fixture(scope="class")
+    def crash_run(self, workload):
+        if "spawn" not in mp.get_all_start_methods():  # pragma: no cover
+            pytest.skip("spawn start method unavailable")
+        trace.enable()
+        try:
+            # chunks = workers * chunks_per_worker = 4; chunk 3 crashes on
+            # attempt 0 only, so one death + one retry, deterministically.
+            # Crashing the *last* chunk (not chunk 0) guarantees both
+            # original workers complete at least one chunk first, so the
+            # trace always carries >=2 worker lanes.
+            return run_traced(
+                workload,
+                mp_start_method="spawn",
+                mp_fault_spec="crash:chunk=3",
+                mp_chunks_per_worker=2,
+                mp_backoff_base=0.01,
+            )
+        finally:
+            trace.disable()
+
+    def test_counters_match_instants(self, crash_run):
+        _, snap = crash_run
+        assert snap.counter("mp.worker_deaths") == 1
+        assert snap.counter("mp.chunk_retries") == 1
+        assert len(snap.instants("mp.worker_death")) == 1
+        assert len(snap.instants("mp.chunk_retry")) == 1
+        (death,) = snap.instants("mp.worker_death")
+        assert death[7]["chunk"] == 3 and death[7]["attempt"] == 0
+
+    def test_worker_lanes_present_from_spawned_processes(self, crash_run):
+        _, snap = crash_run
+        worker_pids = {
+            ev[3] for ev in snap.events if ev[4] == "worker"
+        }
+        assert len(worker_pids) >= 2, "expected >=2 worker lanes"
+        assert os.getpid() not in worker_pids
+        # Worker-side chunk instants made the pickle round trip home.
+        begins = snap.instants("mp.chunk_begin")
+        assert {ev[7]["chunk"] for ev in begins} >= {0, 1, 2, 3}
+
+    def test_chunk_latency_histogram_recorded(self, crash_run):
+        _, snap = crash_run
+        hist = snap.histogram("mp.chunk_map_seconds")
+        assert hist is not None and hist["count"] >= 4
+        assert snap.histogram_quantile("mp.chunk_map_seconds", 0.99) > 0
+
+    def test_chrome_export_loads_with_worker_lanes(self, crash_run):
+        _, snap = crash_run
+        doc = json.loads(json.dumps(to_chrome_trace(snap)))
+        worker_lanes = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+            and ev["args"]["name"].startswith("worker")
+        ]
+        assert len(worker_lanes) >= 2
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert {"mp.worker_death", "mp.chunk_retry", "map_reads"} <= names
+
+    def test_faulted_run_output_matches_serial(self, crash_run, workload):
+        result, _ = crash_run
+        serial = GnumapSnp(workload.reference, PipelineConfig()).run(
+            workload.reads
+        )
+        assert {(s.pos, s.alt_name) for s in result.snps} == {
+            (s.pos, s.alt_name) for s in serial.snps
+        }
+
+
+class TestCleanParallelTrace:
+    def test_span_pairs_balance_per_lane(self, workload):
+        result, snap = run_traced(workload, mp_start_method="fork")
+        assert result.stats.n_reads == len(workload.reads)
+        for pid, tid in {(ev[3], ev[5]) for ev in snap.events}:
+            lane = [ev for ev in snap.events if (ev[3], ev[5]) == (pid, tid)]
+            begins = sum(1 for ev in lane if ev[1] == "B")
+            ends = sum(1 for ev in lane if ev[1] == "E")
+            assert begins == ends, f"unbalanced span pairs in lane {pid}/{tid}"
+
+    def test_mapping_weight_histogram_flows_back(self, workload):
+        _, snap = run_traced(workload, mp_start_method="fork")
+        hist = snap.histogram("pipeline.mapping_weight")
+        assert hist is not None and hist["count"] > 0

@@ -38,6 +38,9 @@ class ReplintConfig:
         Paths never linted.
     select:
         Rule-ID allowlist; empty means every registered rule runs.
+    metric_prefixes:
+        The ``subsystem`` vocabulary of the ``subsystem.metric`` naming
+        grammar; RPL601 flags metric/trace names outside it.
     """
 
     worker_modules: list[str] = field(
@@ -48,6 +51,21 @@ class ReplintConfig:
     boundary_modules: list[str] = field(default_factory=lambda: [])
     exclude: list[str] = field(default_factory=lambda: [])
     select: list[str] = field(default_factory=lambda: [])
+    metric_prefixes: list[str] = field(
+        default_factory=lambda: [
+            "bench",
+            "caller",
+            "cluster",
+            "index",
+            "io",
+            "memory",
+            "mp",
+            "obs",
+            "phmm",
+            "pipeline",
+            "seed",
+        ]
+    )
 
     def is_worker_module(self, path: str) -> bool:
         return _match_any(path, self.worker_modules)
@@ -75,6 +93,7 @@ _LIST_KEYS = (
     "boundary_modules",
     "exclude",
     "select",
+    "metric_prefixes",
 )
 
 

@@ -10,6 +10,7 @@ from replint.rules.base import FileContext, Rule
 from replint.rules.domains import DomainMixArithRule, LogDomainCallRule
 from replint.rules.errstate import UnguardedReductionLogRule
 from replint.rules.excepts import BroadExceptRule
+from replint.rules.metricnames import MetricNameRule
 from replint.rules.rng import UnseededRngRule
 from replint.rules.workers import WorkerSharedStateRule
 
@@ -20,6 +21,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WorkerSharedStateRule(),
     BroadExceptRule(),
     UnguardedReductionLogRule(),
+    MetricNameRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

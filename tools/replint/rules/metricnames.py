@@ -1,0 +1,108 @@
+"""Metric/trace naming grammar (RPL601).
+
+Every counter, gauge, histogram, span sample and trace instant shares one
+namespace; the whole observability story (report sections, Perfetto lanes,
+the perf-regression gate's direction classifier) assumes names follow the
+``subsystem.metric`` grammar: a known subsystem prefix, a dot, and a
+``snake_case`` metric name (optionally dotted further, e.g.
+``mp.chunk_map_seconds``).  A name outside the grammar silently lands in
+the "other counters" dump, sorts into no section, and is invisible to
+greps — this rule makes that a lint failure instead.
+
+The prefix vocabulary is the ``metric_prefixes`` config list
+(``[tool.replint] metric-prefixes`` in pyproject.toml); add the prefix
+there when instrumenting a genuinely new subsystem.
+
+Only string *literals* are checked: dynamically built names
+(``f"{prefix}.{counter}"``) are skipped, as their grammar is the caller's
+responsibility.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from replint.findings import Finding
+from replint.rules.base import FileContext
+
+#: Instrumentation entry points whose first argument is a metric/event name.
+_METRIC_CALL_ATTRS = frozenset(
+    {
+        "inc",
+        "gauge_max",
+        "observe",
+        "observe_array",
+        "instant",
+        "counter_sample",
+    }
+)
+
+#: name = prefix '.' segment ('.' segment)*, segments snake_case.
+_SEGMENT = r"[a-z][a-z0-9_]*"
+_NAME_RE = re.compile(rf"^({_SEGMENT})(\.{_SEGMENT})+$")
+
+
+class MetricNameRule:
+    """RPL601: metric/trace name outside the ``subsystem.metric`` grammar.
+
+    ``current().inc("reads")`` (no subsystem), ``obs.instant("MP.retry")``
+    (not snake_case) and ``observe("zz.latency", x)`` (unknown prefix) are
+    all flagged; fix the name or add the subsystem to the
+    ``metric_prefixes`` registry in ``[tool.replint]``.
+    """
+
+    rule_id = "RPL601"
+    rule_name = "metric-name-grammar"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        prefixes = frozenset(ctx.config.metric_prefixes)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            # Match on the final attribute (or bare name) so call chains
+            # like ``current().inc(...)`` are covered too — dotted_name
+            # bails on the intermediate Call node.
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                attr = func.attr
+            elif isinstance(func, ast.Name):
+                attr = func.id
+            else:
+                continue
+            if attr not in _METRIC_CALL_ATTRS:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue  # dynamic name: out of scope
+            name = first.value
+            if not _NAME_RE.match(name):
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    rule_name=self.rule_name,
+                    message=(
+                        f"metric name {name!r} does not follow the "
+                        "subsystem.metric grammar (snake_case segments "
+                        "joined by dots)"
+                    ),
+                )
+            elif name.split(".", 1)[0] not in prefixes:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    rule_name=self.rule_name,
+                    message=(
+                        f"metric name {name!r} uses unregistered subsystem "
+                        f"prefix {name.split('.', 1)[0]!r} — register it in "
+                        "[tool.replint] metric-prefixes or use an existing "
+                        "subsystem"
+                    ),
+                )
