@@ -25,11 +25,28 @@ from repro.phmm.forward_backward import backward_batch, emissions_batch, forward
 from repro.phmm.model import PHMMParams
 from repro.phmm.posterior import posteriors_batch
 from repro.phmm.pwm import pwm_from_codes
+from repro.phmm.reference_impl import backward_naive, forward_naive
+from repro.phmm.wavefront import F32_LOGLIK_TOL, wavefront_forward_backward
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
 from repro.simulate.genome_sim import GenomeSpec, simulate_genome
 
 B, N, M = 128, 62, 78
+
+
+def _merge_ledger(update: dict) -> None:
+    """Read-modify-write ``BENCH_kernels.json`` so the pipeline comparison
+    and the kernel-throughput section can land in either order without one
+    clobbering the other."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "BENCH_kernels.json"
+    doc = {}
+    if path.exists():
+        with open(path) as fh:
+            doc = json.load(fh)
+    doc.update(update)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
 
 
 @pytest.fixture(scope="module")
@@ -132,15 +149,113 @@ def test_banded_vs_full_pipeline(scaling_workload):
         "cell_reduction": ratio,
         "calls_identical": band_calls == full_calls,
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    with open(OUTPUT_DIR / "BENCH_kernels.json", "w") as fh:
-        json.dump(payload, fh, indent=2)
+    _merge_ledger(payload)
     record(
         "Banded kernels",
         f"full: {full_cells:,} cells in {full_wall:.1f}s | "
         f"banded: {banded_cells + escape_cells:,} cells in {band_wall:.1f}s "
         f"({band_c.get('phmm.band_escapes', 0)} escapes) | "
         f"reduction {ratio:.2f}x | calls identical: {band_calls == full_calls}",
+    )
+
+
+def test_batched_wavefront_throughput(phmm_batch):
+    """Batched wavefront kernels vs the per-pair baseline (DESIGN.md §12).
+
+    Not a pytest-benchmark target (single timed runs): the payload is the
+    ``dp_cells_per_second`` ledger merged into ``BENCH_kernels.json`` for
+    the CI perf gate.  Four contenders over the same (B, N, M) batch, each
+    running forward *and* backward:
+
+    * ``per_pair_naive`` — the per-pair/per-cell loops the wavefront
+      refactor replaced (``reference_impl``), looped over the batch;
+    * ``rowsweep_batched`` — the lfilter row-sweep kernels;
+    * ``wavefront_float64`` — anti-diagonal sweep, bitwise equal to naive;
+    * ``wavefront_float32`` — the fast path with escalation checks on.
+
+    The batched float64 wavefront must clear 10x the per-pair baseline
+    with bitwise-identical logliks.
+    """
+    params, _, _, pstar = phmm_batch
+    dp_cells = 2 * B * N * M  # forward + backward
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = fn()
+            times.append(time.perf_counter() - t0)
+        return out, min(times)
+
+    def per_pair():
+        logliks = np.empty(B)
+        for b in range(B):
+            _, _, _, like = forward_naive(pstar[b], params)
+            backward_naive(pstar[b], params)
+            logliks[b] = np.log(like) if like > 0 else -np.inf
+        return logliks
+
+    naive_loglik, t_naive = best_of(per_pair, repeats=1)
+
+    def rowsweep():
+        fwd = forward_batch(pstar, params)
+        backward_batch(pstar, params)
+        return fwd.loglik
+
+    def wavefront(dtype):
+        fwd, _, escalated = wavefront_forward_backward(
+            pstar, params, dtype=dtype
+        )
+        return fwd.loglik, escalated
+
+    rows_loglik, t_rows = best_of(rowsweep)
+    (wf64_loglik, _), t_wf64 = best_of(lambda: wavefront("float64"))
+    (wf32_loglik, escalated), t_wf32 = best_of(lambda: wavefront("float32"))
+
+    identical = bool(np.array_equal(wf64_loglik, naive_loglik))
+    speedup64 = t_naive / t_wf64
+    assert identical, "batched wavefront changed float64 logliks"
+    assert speedup64 >= 10.0, f"wavefront speedup {speedup64:.1f}x < 10x"
+    np.testing.assert_allclose(rows_loglik, wf64_loglik, rtol=1e-9)
+    np.testing.assert_allclose(wf32_loglik, wf64_loglik, rtol=2 * F32_LOGLIK_TOL)
+
+    def lane(wall, **extra):
+        return {
+            "wall_seconds": wall,
+            "dp_cells_per_second": dp_cells / wall,
+            "speedup_vs_per_pair": t_naive / wall,
+            **extra,
+        }
+
+    _merge_ledger(
+        {
+            "batched_kernels": {
+                "batch": {
+                    "pairs": B,
+                    "read_len": N,
+                    "window_len": M,
+                    "dp_cells": dp_cells,
+                },
+                "per_pair_naive": lane(t_naive),
+                "rowsweep_batched": lane(t_rows),
+                "wavefront_float64": lane(t_wf64),
+                "wavefront_float32": lane(
+                    t_wf32, escalations=int(escalated.sum())
+                ),
+                "calls_identical": identical,
+            }
+        }
+    )
+    record(
+        "Batched wavefront kernels",
+        f"{B} pairs x ({N} x {M}), {dp_cells:,} DP cells/pass-pair | "
+        f"per-pair naive: {dp_cells / t_naive:,.0f} cells/s | "
+        f"rowsweep: {dp_cells / t_rows:,.0f} cells/s | "
+        f"wavefront f64: {dp_cells / t_wf64:,.0f} cells/s "
+        f"({t_naive / t_wf64:.0f}x per-pair) | "
+        f"wavefront f32: {dp_cells / t_wf32:,.0f} cells/s "
+        f"({int(escalated.sum())} escalations) | "
+        f"f64 logliks identical to naive: {identical}",
     )
 
 

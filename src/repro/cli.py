@@ -66,6 +66,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
         band_mode=args.band_mode,
         band_w=args.band_width,
         band_tolerance=args.band_tolerance,
+        phmm_kernel=args.phmm_kernel,
+        phmm_dtype=args.phmm_dtype,
         mp_chunk_timeout=args.chunk_timeout,
         mp_max_retries=args.max_retries,
         mp_fault_spec=args.fault_spec,
@@ -113,6 +115,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         band_mode=args.band_mode,
         band_w=args.band_width,
         band_tolerance=args.band_tolerance,
+        phmm_kernel=args.phmm_kernel,
+        phmm_dtype=args.phmm_dtype,
     )
     args._config = config
     engine = Engine.from_fasta(args.reference, config)
@@ -236,6 +240,24 @@ def _add_band_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--phmm-kernel",
+        default="rowsweep",
+        choices=["wavefront", "rowsweep"],
+        help="Pair-HMM DP kernel family: 'rowsweep' (per-row kernels, "
+        "default) or 'wavefront' (batched anti-diagonal sweeps; required "
+        "for --phmm-dtype float32)",
+    )
+    p.add_argument(
+        "--phmm-dtype",
+        default="float64",
+        choices=["float64", "float32"],
+        help="wavefront kernel precision; float32 runs the fast path with "
+        "automatic per-pair escalation back to float64 (default: float64)",
+    )
+
+
 def _add_fault_tolerance_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--chunk-timeout",
@@ -311,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_tolerance_args(p_call)
     p_call.add_argument("-v", "--verbose", action="store_true")
     _add_band_args(p_call)
+    _add_kernel_args(p_call)
     _add_metrics_arg(p_call)
     _add_trace_arg(p_call)
     _add_sanitize_arg(p_call)
@@ -323,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--k", type=int, default=10)
     p_map.add_argument("--max-secondary", type=int, default=4)
     _add_band_args(p_map)
+    _add_kernel_args(p_map)
     _add_metrics_arg(p_map)
     _add_trace_arg(p_map)
     _add_sanitize_arg(p_map)

@@ -26,6 +26,24 @@ from repro.phmm.forward_backward import (
 )
 from repro.phmm.model import PHMMParams
 from repro.phmm.posterior import PosteriorResult, posteriors_batch, z_vectors
+from repro.phmm.wavefront import DTYPES, wavefront_forward_backward
+
+#: Kernel families the alignment layer can dispatch to: the anti-diagonal
+#: wavefront kernels (default — bitwise against the naive oracle in float64,
+#: optional float32 fast path) or the legacy row-sweep kernels.
+KERNELS = ("wavefront", "rowsweep")
+
+
+def _check_kernel(kernel: str, dtype: str) -> None:
+    if kernel not in KERNELS:
+        raise AlignmentError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if dtype not in DTYPES:
+        raise AlignmentError(f"dtype must be one of {DTYPES}, got {dtype!r}")
+    if kernel == "rowsweep" and dtype != "float64":
+        raise AlignmentError(
+            "the rowsweep kernels are float64-only; "
+            "use kernel='wavefront' for the float32 fast path"
+        )
 
 
 @dataclass
@@ -84,6 +102,8 @@ def align_batch(
     mode: str = "semiglobal",
     edge_policy: str = "mass",
     valid: np.ndarray | None = None,
+    kernel: str = "rowsweep",
+    dtype: str = "float64",
 ) -> AlignmentOutcome:
     """Align a batch of equal-shape (PWM, window) pairs.
 
@@ -96,7 +116,14 @@ def align_batch(
     valid:
         Optional ``(B, M)`` bool mask; z mass on False columns is zeroed
         (used for genome-edge pad columns).
+    kernel:
+        ``"rowsweep"`` (default) or ``"wavefront"`` — see :data:`KERNELS`.
+    dtype:
+        ``"float64"`` (default) or ``"float32"`` (wavefront only): run the
+        DP in single precision with automatic per-pair escalation back to
+        float64 (see :mod:`repro.phmm.wavefront`).
     """
+    _check_kernel(kernel, dtype)
     pwms = np.asarray(pwms, dtype=np.float64)
     windows = np.asarray(windows)
     # Per-pair DP work distribution (full kernels fill every N*M cell).
@@ -108,8 +135,11 @@ def align_batch(
     pstar = emissions_batch(pwms, windows, params)
     if sanitize.enabled():
         sanitize.check_emissions(pstar)
-    fwd = forward_batch(pstar, params, mode=mode)
-    bwd = backward_batch(pstar, params, mode=mode)
+    if kernel == "wavefront":
+        fwd, bwd, _ = wavefront_forward_backward(pstar, params, mode=mode, dtype=dtype)
+    else:
+        fwd = forward_batch(pstar, params, mode=mode)
+        bwd = backward_batch(pstar, params, mode=mode)
     post = posteriors_batch(pstar, pwms, windows, fwd, bwd, params)
     z = z_vectors(post, edge_policy=edge_policy)
     if valid is not None:
@@ -120,7 +150,13 @@ def align_batch(
             )
         z = z * valid[:, :, None]
     if sanitize.enabled():
-        sanitize.check_z(z, valid)
+        sanitize.check_z(
+            z,
+            valid,
+            tol=sanitize.SUM_TOLERANCE
+            if dtype == "float64"
+            else sanitize.F32_SUM_TOLERANCE,
+        )
     return AlignmentOutcome(
         z=z, loglik=fwd.loglik, occupancy=post.occupancy, posterior=post
     )
@@ -139,6 +175,8 @@ def align_batch_banded(
     valid: np.ndarray | None = None,
     groups: np.ndarray | None = None,
     escape_min_ratio: float = 0.0,
+    kernel: str = "rowsweep",
+    dtype: str = "float64",
 ) -> AlignmentOutcome:
     """Banded alignment of a batch, with an optional full-kernel escape hatch.
 
@@ -159,7 +197,12 @@ def align_batch_banded(
     zero mapping weight regardless are not worth a full re-fill.  Groups whose
     *best* banded likelihood is ``-inf`` escape wholesale: the band saw
     nothing, so the full kernels arbitrate.
+
+    ``kernel``/``dtype`` select the DP kernel family exactly as in
+    :func:`align_batch`; escaped pairs re-run full through the *same*
+    kernel, so banded-vs-full comparisons stay within one kernel family.
     """
+    _check_kernel(kernel, dtype)
     pwms = np.asarray(pwms, dtype=np.float64)
     windows = np.asarray(windows)
     centers = np.asarray(centers, dtype=np.int64)
@@ -189,19 +232,54 @@ def align_batch_banded(
     match_posterior = np.empty((B, N, M))
     escaped = np.zeros(B, dtype=bool)
 
+    if B == 0:
+        # Nothing to bucket: return the (0, ...) outcome without touching
+        # the kernels (np.unique on an empty centers array yields no
+        # buckets, but the explicit guard keeps the degenerate path obvious
+        # and regression-tested).
+        posterior = PosteriorResult(
+            base_mass=base_mass, gap_mass=gap_mass, ins_mass=ins_mass,
+            occupancy=occupancy, match_posterior=match_posterior,
+            loglik=loglik.copy(),
+        )
+        return AlignmentOutcome(
+            z=z, loglik=loglik, occupancy=occupancy, posterior=posterior
+        )
+
     for center in np.unique(centers):
         sel = np.nonzero(centers == center)[0]
+        band = BandSpec(n=N, m=M, center=int(center), width=band_w)
+        if band.n_cells() == 0:
+            # The band slid entirely off the matrix for every DP row: no
+            # in-band path exists, so running the kernels would sweep
+            # zero-width diagonals for nothing.  The bucket's pairs are
+            # dead under the band (-inf, zero mass); with the escape hatch
+            # armed they go to the full kernels, which alone can say
+            # whether the pairs are genuinely unalignable.
+            z[sel] = 0.0
+            loglik[sel] = -np.inf
+            occupancy[sel] = 0.0
+            base_mass[sel] = 0.0
+            gap_mass[sel] = 0.0
+            ins_mass[sel] = 0.0
+            match_posterior[sel] = 0.0
+            escaped[sel] = adaptive
+            continue
         sub_pwms = pwms[sel]
         sub_windows = windows[sel]
         pstar = emissions_batch(sub_pwms, sub_windows, params)
         if sanitize.enabled():
             sanitize.check_emissions(pstar)
-        band = BandSpec(n=N, m=M, center=int(center), width=band_w)
         metrics().observe(
             "phmm.pair_cells", float(band.n_cells()), count=int(sel.size)
         )
-        fwd = forward_banded(pstar, params, band, mode=mode)
-        bwd = backward_banded(pstar, params, band, mode=mode)
+        if kernel == "wavefront":
+            fwd, bwd, _ = wavefront_forward_backward(
+                pstar, params, mode=mode, band=band, dtype=dtype
+            )
+        else:
+            fwd = forward_banded(pstar, params, band, mode=mode)
+            bwd = backward_banded(pstar, params, band, mode=mode)
         post = posteriors_batch(pstar, sub_pwms, sub_windows, fwd, bwd, params)
         if adaptive:
             edge = band_edge_mass(post.match_posterior, band)
@@ -240,6 +318,8 @@ def align_batch_banded(
             mode=mode,
             edge_policy=edge_policy,
             valid=None,
+            kernel=kernel,
+            dtype=dtype,
         )
         z[esc] = full.z
         loglik[esc] = full.loglik
@@ -257,7 +337,13 @@ def align_batch_banded(
             )
         z = z * valid[:, :, None]
     if sanitize.enabled():
-        sanitize.check_z(z, valid)
+        sanitize.check_z(
+            z,
+            valid,
+            tol=sanitize.SUM_TOLERANCE
+            if dtype == "float64"
+            else sanitize.F32_SUM_TOLERANCE,
+        )
     posterior = PosteriorResult(
         base_mass=base_mass,
         gap_mass=gap_mass,

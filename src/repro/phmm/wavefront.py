@@ -1,0 +1,627 @@
+"""Batched anti-diagonal (wavefront) Pair-HMM kernels.
+
+The row-sweep kernels in :mod:`repro.phmm.forward_backward` advance the DP
+one read row at a time; the in-row ``G_Y`` recurrence forces a sequential
+scan (:func:`scipy.signal.lfilter`) per row.  This module sweeps the DP by
+**anti-diagonals** ``d = i + j`` instead — the layout of gpuPairHMM
+(Schmidt et al.) and Endeavor's inter-pair batching (PAPERS.md).  On an
+anti-diagonal every dependency points at the previous one or two diagonals:
+
+* ``f_M(i, j)``  needs diagonal ``d - 2`` (cell ``(i-1, j-1)``),
+* ``f_GX(i, j)`` needs diagonal ``d - 1`` (cell ``(i-1, j)``),
+* ``f_GY(i, j)`` needs diagonal ``d - 1`` (cell ``(i, j-1)``),
+
+so *no* recurrence runs within a diagonal and every DP step is one
+vectorized NumPy expression over ``batch × diagonal``.  A band
+(:class:`~repro.phmm.banded.BandSpec`) restricts each diagonal to its
+in-band row range (:meth:`BandSpec.diag_bounds`), making the banded and
+full fills one code path.
+
+Exactness contract
+------------------
+Scaling uses **powers of two only**.  Multiplying every operand of an IEEE
+multiply/add chain by ``2**k`` shifts exponents without touching
+significands, so the scaled sweep performs *bitwise* the same significand
+arithmetic as the unscaled textbook recursion — and each cell is evaluated
+with the exact expression (and association order) of
+:mod:`repro.phmm.reference_impl`.  Undoing the scales with
+:func:`np.ldexp` therefore reproduces the naive oracle's float64 matrices
+bit for bit (``tests/phmm/test_wavefront_oracle.py`` pins this), something
+the row-sweep kernels' max-based scaling can only promise to ``rtol``.
+Per-pair scale exponents are integers, independent across the batch, so
+results are also bitwise independent of batch composition.
+
+float32 fast path
+-----------------
+``dtype="float32"`` runs the sweep in single precision — half the memory
+traffic — under the escalation contract of :func:`f32_escalation_mask`:
+pairs whose emissions underflow the float32 range, whose results go
+non-finite, or whose forward and backward likelihoods disagree beyond
+``F32_LOGLIK_TOL`` are re-run in float64 by
+:func:`wavefront_forward_backward` (counted under
+``phmm.f32_escalations``), so escalated pairs are bitwise identical to a
+pure-float64 run.  The runtime sanitizer audits the merge when enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.observability import current as metrics
+from repro.phmm import sanitize
+from repro.phmm.banded import BandSpec
+from repro.phmm.forward_backward import (
+    _MODES,
+    BackwardResult,
+    ForwardResult,
+    backward_loglik,
+)
+from repro.phmm.model import PHMMParams
+
+__all__ = [
+    "DTYPES",
+    "F32_LOGLIK_TOL",
+    "backward_wavefront",
+    "f32_escalation_mask",
+    "forward_wavefront",
+    "unscale_exact",
+    "wavefront_forward_backward",
+]
+
+_LN2 = float(np.log(2.0))
+
+#: Supported kernel dtypes (the escalation driver accepts either name).
+DTYPES = ("float64", "float32")
+
+#: Relative forward-vs-backward log-likelihood disagreement beyond which a
+#: float32 pair is escalated to float64 (the two passes are algebraically
+#: equal, so disagreement is a direct measure of accumulated rounding).
+F32_LOGLIK_TOL = 5e-3
+
+#: Lazy-rescale thresholds: a DP row is renormalised only when its scaled
+#: magnitude leaves ``[2**-thr, 2**thr]`` — power-of-two shifts keep the
+#: arithmetic exact regardless of *when* they are applied, so rescaling
+#: lazily just trims NumPy calls from the sweep.
+_RESCALE_THR = {np.dtype(np.float64): 256, np.dtype(np.float32): 16}
+
+#: |row exponent| beyond which the final likelihood reduction falls back
+#: from exact ``ldexp`` reconstruction to log-domain accumulation.
+_EXACT_LOGLIK_EXP = 960
+
+
+def _check_dtype(dtype: str) -> "np.dtype[np.floating]":
+    if dtype not in DTYPES:
+        raise AlignmentError(f"dtype must be one of {DTYPES}, got {dtype!r}")
+    return np.dtype(np.float32 if dtype == "float32" else np.float64)
+
+
+def _check_inputs(
+    pstar: np.ndarray, mode: str, band: BandSpec | None
+) -> tuple[int, int, int]:
+    if mode not in _MODES:
+        raise AlignmentError(f"mode must be one of {_MODES}, got {mode!r}")
+    if pstar.ndim != 3:
+        raise AlignmentError(f"pstar must be (B, N, M), got {pstar.shape}")
+    B, N, M = pstar.shape
+    if N == 0 or M == 0:
+        raise AlignmentError("empty read or window")
+    if band is not None and (band.n, band.m) != (N, M):
+        raise AlignmentError(
+            f"band is for ({band.n}, {band.m}), batch is ({N}, {M})"
+        )
+    return B, N, M
+
+
+def _diag_bounds(
+    d: int, N: int, M: int, band: BandSpec | None
+) -> tuple[int, int]:
+    """Inclusive DP-row range of anti-diagonal ``d`` (band-clipped)."""
+    if band is not None:
+        return band.diag_bounds(d)
+    return max(0, d - M), min(N, d)
+
+
+def _n_cells(N: int, M: int, band: BandSpec | None) -> int:
+    """DP cells the sweep fills on rows ``1..N`` (the counters' currency)."""
+    if band is not None:
+        return band.n_cells()
+    return N * M
+
+
+def unscale_exact(arr: np.ndarray, row_exp: np.ndarray) -> np.ndarray:
+    """Exactly undo wavefront row scaling: ``true = arr * 2**row_exp``.
+
+    ``row_exp`` is the integer ``(B, N+1)`` exponent array the wavefront
+    kernels attach to their results; :func:`np.ldexp` shifts exponents
+    without rounding, so (absent overflow past the float range) the return
+    value is the unscaled DP matrix bit for bit.
+    """
+    return np.ldexp(
+        np.asarray(arr, dtype=np.float64),
+        np.asarray(row_exp, dtype=np.int64).astype(np.int32)[:, :, None],
+    )
+
+
+def _bump_rows(
+    bufs: "list[np.ndarray]",
+    outs: "list[np.ndarray]",
+    S: np.ndarray,
+    lo: int,
+    hi: int,
+    thr: int,
+) -> None:
+    """Lazily re-centre active rows whose magnitude left ``[2**-thr, 2**thr]``.
+
+    Scale exponents live **per row**: in semiglobal mode a DP row's
+    magnitude is roughly the likelihood of its read prefix (suffix for the
+    backward pass) — near-constant along the row but decaying geometrically
+    row over row, so a per-row exponent tracks exactly the axis a
+    per-diagonal one cannot (a diagonal spans every depth at once, and its
+    *max* never decays while its deep rows drain out of float32 range).
+
+    ``bufs`` holds the first three entries of the newly computed diagonal
+    (the bump criterion) plus every older rolling generation — all
+    generations of a row share its scale — and ``outs`` the result
+    matrices, whose already-written cells of a bumped row shift with it.
+    Shifts are powers of two, hence exact: *when* a row is bumped cannot
+    change any reconstructed bit.
+    """
+    sl = slice(lo, hi + 1)
+    mx = np.maximum(np.maximum(bufs[0][:, sl], bufs[1][:, sl]), bufs[2][:, sl])
+    _, k = np.frexp(mx)
+    need = (np.abs(k) > thr) & (mx > 0)
+    if not need.any():
+        return
+    bb, rr = np.nonzero(need)
+    rows = rr + lo
+    shift = (-k[bb, rr]).astype(np.int64)
+    s32 = shift.astype(np.int32)
+    for arr in bufs:
+        arr[bb, rows] = np.ldexp(arr[bb, rows], s32)
+    for arr in outs:
+        arr[bb, rows, :] = np.ldexp(arr[bb, rows, :], s32[:, None])
+    S[bb, rows] -= shift
+
+
+def forward_wavefront(
+    pstar: np.ndarray,
+    params: PHMMParams,
+    mode: str = "semiglobal",
+    band: BandSpec | None = None,
+    dtype: str = "float64",
+) -> ForwardResult:
+    """Anti-diagonal scaled forward pass; conventions of ``forward_batch``.
+
+    Returns full ``(B, N+1, M+1)`` matrices (exact zeros outside the band
+    when one is given) with power-of-two per-row scales exposed through
+    ``row_exp``; ``log_scale == row_exp * ln 2``.
+    """
+    np_dtype = _check_dtype(dtype)
+    pstar = np.asarray(pstar)
+    B, N, M = _check_inputs(pstar, mode, band)
+    pstar = pstar.astype(np_dtype, copy=False)
+
+    reg = metrics()
+    reg.inc("phmm.batches")
+    reg.inc("phmm.wavefront_batches")
+    reg.inc("phmm.pairs", B)
+    cells = B * _n_cells(N, M, band)
+    reg.inc("phmm.forward_cells", cells)
+    reg.inc("phmm.cells_banded" if band is not None else "phmm.cells_full", cells)
+
+    q, TMM, TMG, TGM, TGG = (
+        params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG,
+    )
+    one = np_dtype.type(1.0)
+    thr = _RESCALE_THR[np_dtype]
+
+    outM = np.zeros((B, N + 1, M + 1), dtype=np_dtype)
+    outGX = np.zeros((B, N + 1, M + 1), dtype=np_dtype)
+    outGY = np.zeros((B, N + 1, M + 1), dtype=np_dtype)
+    # Per-row cumulative scale exponents: true = stored * 2**S[b, i].
+    S = np.zeros((B, N + 1), dtype=np.int64)
+
+    # Three rolling diagonals per state, indexed by DP row i.
+    curM = np.zeros((B, N + 1), dtype=np_dtype)
+    curGX = np.zeros((B, N + 1), dtype=np_dtype)
+    curGY = np.zeros((B, N + 1), dtype=np_dtype)
+    p1M = np.zeros_like(curM)
+    p1GX = np.zeros_like(curM)
+    p1GY = np.zeros_like(curM)
+    p2M = np.zeros_like(curM)
+    p2GX = np.zeros_like(curM)
+    p2GY = np.zeros_like(curM)
+    outs = [outM, outGX, outGY]
+
+    # Diagonal 0 holds only cell (0, 0): f_M = 1 in both modes (semiglobal
+    # row-0 cells on later diagonals are injected as the sweep reaches
+    # them) — unless a band excludes the cell.
+    lo0, hi0 = _diag_bounds(0, N, M, band)
+    top = -1  # deepest row activated so far
+    if lo0 <= 0 <= hi0:
+        p1M[:, 0] = one
+        outM[:, 0, 0] = one
+        top = 0
+
+    for d in range(1, N + M + 1):
+        curM.fill(0)
+        curGX.fill(0)
+        curGY.fill(0)
+        ilo, ihi = _diag_bounds(d, N, M, band)
+        if ilo > ihi:
+            p2M, p1M, curM = p1M, curM, p2M
+            p2GX, p1GX, curGX = p1GX, curGX, p2GX
+            p2GY, p1GY, curGY = p1GY, curGY, p2GY
+            continue
+        if ihi > top:
+            # Newly activated rows start at their predecessor row's scale,
+            # so their first values are computed in a centred range.
+            if top >= 0:
+                S[:, top + 1 : ihi + 1] = S[:, top : top + 1]
+            top = ihi
+
+        # M and G_Y live on rows with i >= 1 and j = d - i >= 1.
+        iMlo, iMhi = max(ilo, 1), min(ihi, d - 1)
+        if iMlo <= iMhi:
+            sl = slice(iMlo, iMhi + 1)
+            slp = slice(iMlo - 1, iMhi)
+            ii = np.arange(iMlo, iMhi + 1)
+            ps = pstar[:, ii - 1, d - ii - 1]
+            # Row i-1 predecessors carry scale S[i-1]; shift them to the
+            # output row's scale S[i] (exact) before mixing.
+            dlt = S[:, slp] - S[:, sl]
+            if dlt.any():
+                d32 = dlt.astype(np.int32)
+                m_in = np.ldexp(p2M[:, slp], d32)
+                gx_in = np.ldexp(p2GX[:, slp], d32)
+                gy_in = np.ldexp(p2GY[:, slp], d32)
+            else:
+                m_in, gx_in, gy_in = p2M[:, slp], p2GX[:, slp], p2GY[:, slp]
+            # Expression order mirrors reference_impl.forward_naive so the
+            # scaled significand arithmetic is bit-identical to it.
+            curM[:, sl] = ps * (TMM * m_in + TGM * (gx_in + gy_in))
+            curGY[:, sl] = q * (TMG * p1M[:, sl] + TGG * p1GY[:, sl])
+
+        # G_X lives on every row i >= 1 of the diagonal (j may be 0).
+        iXlo = max(ilo, 1)
+        if iXlo <= ihi:
+            slx = slice(iXlo, ihi + 1)
+            slxp = slice(iXlo - 1, ihi)
+            dltx = S[:, slxp] - S[:, slx]
+            if dltx.any():
+                dx32 = dltx.astype(np.int32)
+                mx_in = np.ldexp(p1M[:, slxp], dx32)
+                gx2_in = np.ldexp(p1GX[:, slxp], dx32)
+            else:
+                mx_in, gx2_in = p1M[:, slxp], p1GX[:, slxp]
+            curGX[:, slx] = q * (TMG * mx_in + TGG * gx2_in)
+
+        # Semiglobal free-prefix border: f_M(0, d) = 1 wherever the band
+        # admits row 0, injected at the row's current scale.
+        if ilo == 0 and mode == "semiglobal":
+            curM[:, 0] = np.ldexp(one, (-S[:, 0]).astype(np.int32))
+
+        _bump_rows(
+            [curM, curGX, curGY, p1M, p1GX, p1GY, p2M, p2GX, p2GY],
+            outs, S, ilo, ihi, thr,
+        )
+
+        idx = np.arange(ilo, ihi + 1)
+        outM[:, idx, d - idx] = curM[:, ilo : ihi + 1]
+        outGX[:, idx, d - idx] = curGX[:, ilo : ihi + 1]
+        outGY[:, idx, d - idx] = curGY[:, ilo : ihi + 1]
+
+        p2M, p1M, curM = p1M, curM, p2M
+        p2GX, p1GX, curGX = p1GX, curGX, p2GX
+        p2GY, p1GY, curGY = p1GY, curGY, p2GY
+
+    row_exp = S
+    log_scale = row_exp.astype(np.float64) * _LN2
+    loglik = _forward_loglik(outM, outGX, outGY, row_exp, mode, N, M)
+
+    result = ForwardResult(
+        fM=outM,
+        fGX=outGX,
+        fGY=outGY,
+        log_scale=log_scale,
+        loglik=loglik,
+        mode=mode,
+        row_exp=row_exp,
+    )
+    if sanitize.enabled():
+        sanitize.check_forward(result)
+        if band is not None:
+            sanitize.check_band(outM, outGX, outGY, band=band, kind="forward")
+    return result
+
+
+def _forward_loglik(
+    outM: np.ndarray,
+    outGX: np.ndarray,
+    outGY: np.ndarray,
+    row_exp: np.ndarray,
+    mode: str,
+    N: int,
+    M: int,
+) -> np.ndarray:
+    """Total log-likelihood from the scaled final row.
+
+    Where the row exponent is moderate the terminal row is reconstructed
+    exactly (``ldexp``) and reduced with the same expressions as the naive
+    oracle — making ``loglik`` bitwise comparable to ``log`` of the
+    oracle's likelihood.  Rows scaled beyond the float64 range fall back
+    to log-domain accumulation (value-equal to rounding).
+    """
+    RN = row_exp[:, N]
+    rn32 = np.clip(RN, -_EXACT_LOGLIK_EXP, _EXACT_LOGLIK_EXP).astype(np.int32)
+    rowM = outM[:, N, :].astype(np.float64, copy=False)
+    rowGX = outGX[:, N, :].astype(np.float64, copy=False)
+    with np.errstate(divide="ignore", over="ignore", under="ignore"):
+        if mode == "semiglobal":
+            exact = (
+                np.ldexp(rowM, rn32[:, None]).sum(axis=1)
+                + np.ldexp(rowGX, rn32[:, None]).sum(axis=1)
+            )
+            scaled = rowM.sum(axis=1) + rowGX.sum(axis=1)
+        else:
+            rowGY = outGY[:, N, :].astype(np.float64, copy=False)
+            exact = (
+                np.ldexp(rowM[:, M], rn32)
+                + np.ldexp(rowGX[:, M], rn32)
+                + np.ldexp(rowGY[:, M], rn32)
+            )
+            scaled = rowM[:, M] + rowGX[:, M] + rowGY[:, M]
+        safe = np.abs(RN) <= _EXACT_LOGLIK_EXP
+        ll_exact = np.log(np.maximum(exact, 0.0))
+        ll_fallback = np.log(np.maximum(scaled, 0.0)) + RN.astype(np.float64) * _LN2
+    return np.where(safe, ll_exact, ll_fallback)
+
+
+def backward_wavefront(
+    pstar: np.ndarray,
+    params: PHMMParams,
+    mode: str = "semiglobal",
+    band: BandSpec | None = None,
+    dtype: str = "float64",
+) -> BackwardResult:
+    """Anti-diagonal scaled backward pass; conventions of ``backward_batch``."""
+    np_dtype = _check_dtype(dtype)
+    pstar = np.asarray(pstar)
+    B, N, M = _check_inputs(pstar, mode, band)
+    pstar = pstar.astype(np_dtype, copy=False)
+
+    reg = metrics()
+    cells = B * _n_cells(N, M, band)
+    reg.inc("phmm.backward_cells", cells)
+    reg.inc("phmm.cells_banded" if band is not None else "phmm.cells_full", cells)
+
+    q, TMM, TMG, TGM, TGG = (
+        params.q, params.T_MM, params.T_MG, params.T_GM, params.T_GG,
+    )
+    QTMG = q * TMG
+    QTGG = q * TGG
+    one = np_dtype.type(1.0)
+    thr = _RESCALE_THR[np_dtype]
+
+    outM = np.zeros((B, N + 1, M + 1), dtype=np_dtype)
+    outGX = np.zeros((B, N + 1, M + 1), dtype=np_dtype)
+    outGY = np.zeros((B, N + 1, M + 1), dtype=np_dtype)
+    # Per-row scale exponents with a sentinel slot for phantom row N + 1
+    # (its buffer values are permanent zeros, so its scale is irrelevant —
+    # the slot just keeps the vectorised successor-delta slices in bounds).
+    S = np.zeros((B, N + 2), dtype=np.int64)
+
+    # Rolling diagonals with a permanently-zero sentinel slot at index
+    # N + 1 so successor reads at row i + 1 = N + 1 are in-bounds zeros.
+    curM = np.zeros((B, N + 2), dtype=np_dtype)
+    curGX = np.zeros((B, N + 2), dtype=np_dtype)
+    curGY = np.zeros((B, N + 2), dtype=np_dtype)
+    p1M = np.zeros_like(curM)
+    p1GX = np.zeros_like(curM)
+    p1GY = np.zeros_like(curM)
+    p2M = np.zeros_like(curM)
+    p2GX = np.zeros_like(curM)
+    p2GY = np.zeros_like(curM)
+    outs = [outM, outGX, outGY]
+    bot = N + 1  # shallowest row activated so far
+
+    for d in range(N + M, -1, -1):
+        curM.fill(0)
+        curGX.fill(0)
+        curGY.fill(0)
+        ilo, ihi = _diag_bounds(d, N, M, band)
+        if ilo > ihi:
+            p2M, p1M, curM = p1M, curM, p2M
+            p2GX, p1GX, curGX = p1GX, curGX, p2GX
+            p2GY, p1GY, curGY = p1GY, curGY, p2GY
+            continue
+        if ilo < bot:
+            # Newly activated rows inherit their successor row's scale.
+            if bot <= N:
+                S[:, ilo:bot] = S[:, bot : bot + 1]
+            bot = ilo
+
+        # Recurrence rows.  Semiglobal pins row N to its init constants;
+        # global evaluates row N generically (its p* term and M/GX
+        # successors are zero, collapsing to the paper's trailing-G_Y
+        # chain) except for the injected terminal cell (N, M).
+        rlo = ilo
+        rhi = min(ihi, N - 1) if mode == "semiglobal" else ihi
+        if mode == "global" and d == N + M:
+            rhi = min(rhi, N - 1)  # (N, M) is pure initialisation
+        if rlo <= rhi:
+            sl = slice(rlo, rhi + 1)
+            L = rhi - rlo + 1
+            # p(i, j) = pstar[i, d-i] for i <= N-1 and j <= M-1, else 0.
+            ps = np.zeros((B, L), dtype=np_dtype)
+            pslo, pshi = max(rlo, d - M + 1), min(rhi, N - 1)
+            if pslo <= pshi:
+                jj = np.arange(pslo, pshi + 1)
+                ps[:, pslo - rlo : pshi - rlo + 1] = pstar[:, jj, d - jj]
+            # Row i+1 successors carry scale S[i+1]; shift to S[i] (exact).
+            dlt = S[:, rlo + 1 : rhi + 2] - S[:, sl]
+            bm = p2M[:, rlo + 1 : rhi + 2]
+            gx_next = p1GX[:, rlo + 1 : rhi + 2]
+            if dlt.any():
+                d32 = dlt.astype(np.int32)
+                bm = np.ldexp(bm, d32)
+                gx_next = np.ldexp(gx_next, d32)
+            gy_next = p1GY[:, rlo : rhi + 1]
+            # Expression order mirrors reference_impl.backward_naive.
+            curM[:, sl] = ps * TMM * bm + QTMG * (gx_next + gy_next)
+            curGX[:, sl] = ps * TGM * bm + QTGG * gx_next
+            glo = max(rlo, 1)  # row 0 keeps b_GY = 0 (unreachable state)
+            if glo <= rhi:
+                o = glo - rlo
+                curGY[:, glo : rhi + 1] = (
+                    ps[:, o:] * TGM * bm[:, o:] + QTGG * p1GY[:, glo : rhi + 1]
+                )
+
+        # Terminal-row initialisation, injected at the row's scale.
+        if ihi == N:
+            inj = np.ldexp(one, (-S[:, N]).astype(np.int32))
+            if mode == "semiglobal":
+                curM[:, N] = inj
+                curGX[:, N] = inj
+            elif d == N + M:
+                curM[:, N] = inj
+                curGX[:, N] = inj
+                curGY[:, N] = inj
+
+        _bump_rows(
+            [curM, curGX, curGY, p1M, p1GX, p1GY, p2M, p2GX, p2GY],
+            outs, S, ilo, ihi, thr,
+        )
+
+        idx = np.arange(ilo, ihi + 1)
+        outM[:, idx, d - idx] = curM[:, ilo : ihi + 1]
+        outGX[:, idx, d - idx] = curGX[:, ilo : ihi + 1]
+        outGY[:, idx, d - idx] = curGY[:, ilo : ihi + 1]
+
+        p2M, p1M, curM = p1M, curM, p2M
+        p2GX, p1GX, curGX = p1GX, curGX, p2GX
+        p2GY, p1GY, curGY = p1GY, curGY, p2GY
+
+    row_exp = S[:, : N + 1]
+    log_scale = row_exp.astype(np.float64) * _LN2
+
+    result = BackwardResult(
+        bM=outM,
+        bGX=outGX,
+        bGY=outGY,
+        log_scale=log_scale,
+        mode=mode,
+        row_exp=row_exp,
+    )
+    if sanitize.enabled():
+        sanitize.check_backward(result)
+        if band is not None:
+            sanitize.check_band(outM, outGX, outGY, band=band, kind="backward")
+    return result
+
+
+def f32_escalation_mask(
+    pstar64: np.ndarray,
+    pstar32: np.ndarray,
+    fwd: ForwardResult,
+    bwd: BackwardResult,
+    mode: str,
+) -> np.ndarray:
+    """Which float32 pairs must be re-run in float64 — the escalation contract.
+
+    A pair escalates when any of:
+
+    1. **emission underflow** — an emission that is positive in float64
+       rounds to zero in float32 (the float32 DP would silently treat a
+       possible alignment as impossible);
+    2. **non-finite results** — the pair's log-likelihood or any DP matrix
+       entry is NaN/±inf (overflowed scale hop, or a ``-inf`` likelihood
+       that float32 cannot distinguish from underflow);
+    3. **pass disagreement** — forward and backward total likelihoods
+       (algebraically equal) differ by more than :data:`F32_LOGLIK_TOL`
+       relative, a direct measure of accumulated float32 rounding.
+
+    Pure function of the float32 results: unit-testable without running
+    the driver.
+    """
+    esc = ((pstar64 > 0) & (pstar32 == 0)).any(axis=(1, 2))
+    ll = fwd.loglik
+    esc |= ~np.isfinite(ll)
+    for arr in (fwd.fM, fwd.fGX, fwd.fGY, bwd.bM, bwd.bGX, bwd.bGY):
+        esc |= ~np.isfinite(arr).all(axis=(1, 2))
+    bll = backward_loglik(pstar32, bwd, mode)
+    both = np.isfinite(ll) & np.isfinite(bll)
+    with np.errstate(invalid="ignore"):
+        disagree = np.abs(ll - bll) > F32_LOGLIK_TOL * np.maximum(1.0, np.abs(ll))
+    esc |= both & disagree
+    esc |= np.isfinite(ll) != np.isfinite(bll)
+    return esc
+
+
+def _promote_forward(fwd: ForwardResult) -> ForwardResult:
+    return ForwardResult(
+        fM=fwd.fM.astype(np.float64),
+        fGX=fwd.fGX.astype(np.float64),
+        fGY=fwd.fGY.astype(np.float64),
+        log_scale=fwd.log_scale,
+        loglik=fwd.loglik,
+        mode=fwd.mode,
+        row_exp=fwd.row_exp,
+    )
+
+
+def _promote_backward(bwd: BackwardResult) -> BackwardResult:
+    return BackwardResult(
+        bM=bwd.bM.astype(np.float64),
+        bGX=bwd.bGX.astype(np.float64),
+        bGY=bwd.bGY.astype(np.float64),
+        log_scale=bwd.log_scale,
+        mode=bwd.mode,
+        row_exp=bwd.row_exp,
+    )
+
+
+def wavefront_forward_backward(
+    pstar: np.ndarray,
+    params: PHMMParams,
+    mode: str = "semiglobal",
+    band: BandSpec | None = None,
+    dtype: str = "float64",
+) -> tuple[ForwardResult, BackwardResult, np.ndarray]:
+    """Both wavefront passes with the float32→float64 escalation driver.
+
+    Returns ``(fwd, bwd, escalated)``.  In float64 mode ``escalated`` is
+    all-False and the passes run once.  In float32 mode the whole batch
+    runs in single precision, :func:`f32_escalation_mask` picks the pairs
+    the fast path cannot be trusted on, and exactly those pairs are
+    re-run in float64 (``phmm.f32_escalations``) and spliced in — so an
+    escalated pair's result is bitwise the pure-float64 result, and its
+    batch-mates are untouched.  Merged arrays are always float64.
+    """
+    _check_dtype(dtype)
+    pstar64 = np.asarray(pstar, dtype=np.float64)
+    if dtype == "float64":
+        fwd = forward_wavefront(pstar64, params, mode=mode, band=band)
+        bwd = backward_wavefront(pstar64, params, mode=mode, band=band)
+        return fwd, bwd, np.zeros(pstar64.shape[0], dtype=bool)
+
+    pstar32 = pstar64.astype(np.float32)
+    fwd32 = forward_wavefront(pstar32, params, mode=mode, band=band, dtype=dtype)
+    bwd32 = backward_wavefront(pstar32, params, mode=mode, band=band, dtype=dtype)
+    escalated = f32_escalation_mask(pstar64, pstar32, fwd32, bwd32, mode)
+
+    fwd = _promote_forward(fwd32)
+    bwd = _promote_backward(bwd32)
+    idx = np.nonzero(escalated)[0]
+    if idx.size:
+        metrics().inc("phmm.f32_escalations", int(idx.size))
+        f64 = forward_wavefront(pstar64[idx], params, mode=mode, band=band)
+        b64 = backward_wavefront(pstar64[idx], params, mode=mode, band=band)
+        for name in ("fM", "fGX", "fGY", "log_scale", "loglik", "row_exp"):
+            getattr(fwd, name)[idx] = getattr(f64, name)
+        for name in ("bM", "bGX", "bGY", "log_scale", "row_exp"):
+            getattr(bwd, name)[idx] = getattr(b64, name)
+    if sanitize.enabled():
+        sanitize.check_escalation(escalated, fwd, bwd)
+    return fwd, bwd, escalated

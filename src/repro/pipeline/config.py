@@ -69,6 +69,19 @@ class PipelineConfig:
         Escape threshold for ``band_mode="adaptive"``: the fraction of a
         read's posterior match mass allowed on band-created edge cells
         before the pair is re-run full-width.
+    phmm_kernel:
+        DP kernel family: ``"rowsweep"`` (default — the lfilter row-sweep
+        kernels, fastest on CPU) or ``"wavefront"`` (batched anti-diagonal
+        sweeps, bitwise against the naive oracle in float64 and the only
+        kernel with a float32 fast path).  Both produce identical SNP
+        calls; see :mod:`repro.phmm.wavefront` and DESIGN.md §12 for the
+        trade-off.
+    phmm_dtype:
+        Kernel precision: ``"float64"`` (default) or ``"float32"`` — the
+        wavefront fast path with automatic per-pair escalation back to
+        float64 on underflow/overflow/inconsistency (counted under
+        ``phmm.f32_escalations``).  Only valid with
+        ``phmm_kernel="wavefront"``.
     mp_start_method:
         Multiprocessing start method for the real process backend, pinned
         explicitly (``"spawn"`` default) so span-stack and
@@ -109,6 +122,8 @@ class PipelineConfig:
     band_mode: str = "off"
     band_w: int = 10
     band_tolerance: float = 1e-4
+    phmm_kernel: str = "rowsweep"
+    phmm_dtype: str = "float64"
     mp_start_method: str = "spawn"
     mp_chunk_timeout: float = 120.0
     mp_max_retries: int = 2
@@ -149,6 +164,21 @@ class PipelineConfig:
         if not 0.0 <= self.band_tolerance < 1.0:
             raise ConfigError(
                 f"band_tolerance must be in [0, 1), got {self.band_tolerance}"
+            )
+        if self.phmm_kernel not in ("wavefront", "rowsweep"):
+            raise ConfigError(
+                f"phmm_kernel must be 'wavefront' or 'rowsweep', "
+                f"got {self.phmm_kernel!r}"
+            )
+        if self.phmm_dtype not in ("float64", "float32"):
+            raise ConfigError(
+                f"phmm_dtype must be 'float64' or 'float32', "
+                f"got {self.phmm_dtype!r}"
+            )
+        if self.phmm_kernel == "rowsweep" and self.phmm_dtype != "float64":
+            raise ConfigError(
+                "phmm_dtype='float32' requires phmm_kernel='wavefront' "
+                "(the rowsweep kernels are float64-only)"
             )
         if self.mp_start_method not in MP_START_METHODS:
             raise ConfigError(

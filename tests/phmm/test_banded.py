@@ -268,6 +268,199 @@ class TestSanitizer:
             sanitize.check_band(leaky, zeros, zeros, band)
 
 
+class TestBatchedBuckets:
+    """Batched-banded behaviour across mixed geometries and escapes.
+
+    The wavefront kernels' per-pair power-of-two scaling makes every pair's
+    result independent of its batch-mates bit for bit, so a batch mixing
+    several band centers — including pairs that escape to the full kernels —
+    must be byte-identical to running each pair through the serial per-pair
+    path alone.
+    """
+
+    def test_mixed_band_geometries_one_batch(self):
+        """Three centers -> three buckets with differently clipped bands,
+        one call; each pair byte-identical to its solo run."""
+        rng = np.random.default_rng(21)
+        pwms, windows = random_batch(rng, b=6, n=8, m=14)
+        m = windows.shape[1]
+        centers = np.array([0, 0, 5, 5, m - 2, m - 2], dtype=np.int64)
+        batched = align_batch_banded(
+            pwms, windows, PARAMS, centers, band_w=3, adaptive=False,
+            kernel="wavefront",
+        )
+        for b in range(6):
+            solo = align_batch_banded(
+                pwms[b : b + 1],
+                windows[b : b + 1],
+                PARAMS,
+                centers[b : b + 1],
+                band_w=3,
+                adaptive=False,
+                kernel="wavefront",
+            )
+            assert np.array_equal(batched.loglik[b], solo.loglik[0])
+            assert np.array_equal(batched.z[b], solo.z[0])
+            assert np.array_equal(batched.occupancy[b], solo.occupancy[0])
+
+    def test_per_bucket_cells_accounting(self):
+        """Each bucket charges its own clipped band geometry, not a shared
+        nominal width."""
+        rng = np.random.default_rng(22)
+        pwms, windows = random_batch(rng, b=4, n=8, m=14)
+        n, m = pwms.shape[1], windows.shape[1]
+        centers = np.array([0, 0, 9, 9], dtype=np.int64)
+        expected = 0
+        for c in (0, 9):
+            band = BandSpec(n=n, m=m, center=c, width=2)
+            expected += 2 * 2 * band.n_cells()  # 2 pairs x fwd+bwd passes
+        with scope() as reg:
+            align_batch_banded(
+                pwms, windows, PARAMS, centers, band_w=2, adaptive=False,
+                kernel="wavefront",
+            )
+        assert reg.snapshot().counters["phmm.cells_banded"] == expected
+
+    def test_escape_inside_batch_is_byte_identical_to_serial(self):
+        """One escaping pair among well-banded mates: every pair (escaped or
+        not) matches its serial per-pair outcome bitwise."""
+        esc_pwms, esc_windows, esc_pad = indel_case(shift=6, pad=8, seed=3)
+        # same window width (2*11 + 30 = 2*8 + 30 + 6), different center:
+        # the clean pairs land in their own bucket, as in the real pipeline
+        ok_pwms, ok_windows, ok_pad = indel_case(shift=0, pad=11, seed=5)
+        assert esc_windows.shape[1] == ok_windows.shape[1]
+        pwms = np.concatenate([ok_pwms, esc_pwms, ok_pwms])
+        windows = np.concatenate([ok_windows, esc_windows, ok_windows])
+        centers = np.array([ok_pad, esc_pad, ok_pad], dtype=np.int64)
+        with scope() as reg:
+            batched = align_batch_banded(
+                pwms, windows, PARAMS, centers, band_w=2, tolerance=1e-4,
+                kernel="wavefront",
+            )
+            n_escapes = reg.snapshot().counters.get("phmm.band_escapes", 0)
+        assert n_escapes == 1
+        full = align_batch(esc_pwms, esc_windows, PARAMS, kernel="wavefront")
+        assert np.array_equal(batched.loglik[1], full.loglik[0])
+        assert np.array_equal(batched.z[1], full.z[0])
+        for b in range(3):
+            solo = align_batch_banded(
+                pwms[b : b + 1],
+                windows[b : b + 1],
+                PARAMS,
+                centers[b : b + 1],
+                band_w=2,
+                tolerance=1e-4,
+                kernel="wavefront",
+            )
+            assert np.array_equal(batched.loglik[b], solo.loglik[0])
+            assert np.array_equal(batched.z[b], solo.z[0])
+
+    def test_kernel_families_agree_on_escapes(self):
+        """Wavefront and rowsweep dispatch see the same escape decisions on
+        the indel fixture (the escape test is posterior-level, not
+        kernel-level)."""
+        pwms, windows, pad = indel_case(shift=6, seed=7)
+        centers = np.array([pad], dtype=np.int64)
+        for kernel in ("wavefront", "rowsweep"):
+            with scope() as reg:
+                align_batch_banded(
+                    pwms, windows, PARAMS, centers, band_w=2,
+                    tolerance=1e-4, kernel=kernel,
+                )
+                assert reg.snapshot().counters.get("phmm.band_escapes", 0) == 1
+
+
+class TestEmptyBucket:
+    """A bucket whose band misses the matrix entirely must neither crash
+    nor run the kernels (the latent zero-width wavefront allocation)."""
+
+    def _off_matrix_center(self, n, m, band_w):
+        # row i's band is [i + c - w, i + c + w]; c > m + w - 1 pushes every
+        # DP row's band past the last window column.
+        return m + band_w + 5
+
+    def test_fixed_mode_returns_dead_pairs(self):
+        rng = np.random.default_rng(31)
+        pwms, windows = random_batch(rng, b=2)
+        n, m = pwms.shape[1], windows.shape[1]
+        c = self._off_matrix_center(n, m, 3)
+        assert BandSpec(n=n, m=m, center=c, width=3).n_cells() == 0
+        with scope() as reg:
+            out = align_batch_banded(
+                pwms,
+                windows,
+                PARAMS,
+                np.full(2, c, dtype=np.int64),
+                band_w=3,
+                adaptive=False,
+                kernel="wavefront",
+            )
+            counters = reg.snapshot().counters
+        assert np.all(np.isneginf(out.loglik))
+        assert np.all(out.z == 0.0)
+        assert np.all(out.occupancy == 0.0)
+        # the kernels were never entered for the dead bucket
+        assert "phmm.cells_banded" not in counters
+        assert counters.get("phmm.band_escapes", 0) == 0
+
+    def test_adaptive_mode_escapes_whole_bucket(self):
+        rng = np.random.default_rng(32)
+        pwms, windows = random_batch(rng, b=3)
+        n, m = pwms.shape[1], windows.shape[1]
+        c = self._off_matrix_center(n, m, 2)
+        full = align_batch(pwms, windows, PARAMS)
+        with scope() as reg:
+            out = align_batch_banded(
+                pwms,
+                windows,
+                PARAMS,
+                np.full(3, c, dtype=np.int64),
+                band_w=2,
+                tolerance=1e-4,
+            )
+            counters = reg.snapshot().counters
+        assert counters.get("phmm.band_escapes", 0) == 3
+        assert "phmm.cells_banded" not in counters
+        assert np.array_equal(out.loglik, full.loglik)
+        assert np.array_equal(out.z, full.z)
+
+    def test_mixed_live_and_dead_buckets(self):
+        """A dead bucket rides along with a live one; the live bucket's
+        pairs are untouched by their dead batch-mates."""
+        rng = np.random.default_rng(33)
+        pwms, windows = random_batch(rng, b=4)
+        n, m = pwms.shape[1], windows.shape[1]
+        dead_c = self._off_matrix_center(n, m, 3)
+        centers = np.array([m // 2, dead_c, m // 2, dead_c], dtype=np.int64)
+        out = align_batch_banded(
+            pwms, windows, PARAMS, centers, band_w=3, adaptive=False
+        )
+        live = np.array([0, 2])
+        solo = align_batch_banded(
+            pwms[live],
+            windows[live],
+            PARAMS,
+            centers[live],
+            band_w=3,
+            adaptive=False,
+        )
+        assert np.array_equal(out.loglik[live], solo.loglik)
+        assert np.array_equal(out.z[live], solo.z)
+        assert np.all(np.isneginf(out.loglik[[1, 3]]))
+
+    def test_empty_batch_is_a_no_op(self):
+        out = align_batch_banded(
+            np.zeros((0, 5, 4)),
+            np.zeros((0, 9), dtype=np.uint8),
+            PARAMS,
+            np.zeros(0, dtype=np.int64),
+            band_w=3,
+        )
+        assert out.z.shape == (0, 9, 5)
+        assert out.loglik.shape == (0,)
+        assert out.posterior.match_posterior.shape == (0, 5, 9)
+
+
 class TestValidation:
     def test_bad_centers_shape(self):
         rng = np.random.default_rng(0)

@@ -1,0 +1,247 @@
+"""float32 -> float64 escalation: exactly the offending pairs, nothing else.
+
+The fast path's contract (:func:`repro.phmm.wavefront.f32_escalation_mask`)
+is exercised with seeded fixtures whose emissions underflow the float32
+range: a mismatch probability of 1e-46 is a perfectly ordinary float64 but
+rounds to exactly 0.0 in float32, so any pair that can mismatch trips the
+emission pre-guard while all-match pairs sail through single precision.
+The suite proves three things: the ``phmm.f32_escalations`` counter equals
+the planted offender count, escalated pairs come back *bitwise* equal to a
+pure-float64 run (their batch-mates untouched), and the mask criteria
+(non-finite results, forward/backward disagreement) fire when doctored
+results exhibit them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SanitizerError
+from repro.observability import scope
+from repro.phmm import sanitize
+from repro.phmm.alignment import align_batch
+from repro.phmm.forward_backward import emissions_batch
+from repro.phmm.model import PHMMParams
+from repro.phmm.pwm import pwm_from_codes
+from repro.phmm.wavefront import (
+    F32_LOGLIK_TOL,
+    backward_wavefront,
+    f32_escalation_mask,
+    forward_wavefront,
+    wavefront_forward_backward,
+)
+from repro.pipeline.config import PipelineConfig
+
+
+def underflow_params() -> PHMMParams:
+    """Emission table whose mismatch probability exists only in float64.
+
+    1e-46 is below the smallest float32 subnormal (~1.4e-45): ``astype``
+    flushes it to exactly zero, silently declaring mismatches impossible —
+    the precise failure mode the emission pre-guard escalates on.
+    """
+    table = np.full((4, 5), 1e-46)
+    np.fill_diagonal(table[:, :4], 1.0)
+    table[:, 4] = 0.25
+    return PHMMParams(emission=table)
+
+
+def fixture_batch(offenders=(1, 3), B=5, N=6, M=9):
+    """B one-hot-quality pairs in all-A windows; ``offenders`` carry a C.
+
+    All-A reads only ever hit the diagonal emission (1.0) — float32-clean.
+    A single C base makes every cell of that read's C row a 1e-46 mismatch
+    against the all-A window: positive in float64, zero in float32.
+    """
+    codes = np.zeros((B, N), dtype=np.uint8)
+    for b in offenders:
+        codes[b, N // 2] = 1
+    pwms = np.stack([pwm_from_codes(c, np.zeros(N)) for c in codes])
+    windows = np.zeros((B, M), dtype=np.uint8)
+    return pwms, windows
+
+
+class TestEscalationExactness:
+    def test_counter_matches_planted_offenders(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=(1, 3))
+        pstar = emissions_batch(pwms, windows, params)
+        with scope() as reg:
+            _, _, escalated = wavefront_forward_backward(
+                pstar, params, dtype="float32"
+            )
+        counters = reg.snapshot().counters
+        np.testing.assert_array_equal(
+            escalated, np.array([False, True, False, True, False])
+        )
+        assert counters["phmm.f32_escalations"] == 2
+
+    def test_escalated_pairs_bitwise_equal_pure_float64(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=(0, 4))
+        pstar = emissions_batch(pwms, windows, params)
+        fwd32, bwd32, escalated = wavefront_forward_backward(
+            pstar, params, dtype="float32"
+        )
+        fwd64, bwd64, _ = wavefront_forward_backward(pstar, params)
+        idx = np.nonzero(escalated)[0]
+        assert idx.size == 2
+        np.testing.assert_array_equal(fwd32.fM[idx], fwd64.fM[idx])
+        np.testing.assert_array_equal(fwd32.fGX[idx], fwd64.fGX[idx])
+        np.testing.assert_array_equal(fwd32.fGY[idx], fwd64.fGY[idx])
+        np.testing.assert_array_equal(fwd32.row_exp[idx], fwd64.row_exp[idx])
+        np.testing.assert_array_equal(fwd32.loglik[idx], fwd64.loglik[idx])
+        np.testing.assert_array_equal(bwd32.bM[idx], bwd64.bM[idx])
+        np.testing.assert_array_equal(bwd32.row_exp[idx], bwd64.row_exp[idx])
+
+    def test_batch_mates_not_perturbed_by_escalation(self):
+        """Kept pairs' float32 results are bitwise what a pure-clean batch
+        yields: the escalated re-run splices without touching its mates."""
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=(2,))
+        pstar = emissions_batch(pwms, windows, params)
+        mixed_fwd, _, escalated = wavefront_forward_backward(
+            pstar, params, dtype="float32"
+        )
+        kept = np.nonzero(~escalated)[0]
+        solo_fwd, _, solo_esc = wavefront_forward_backward(
+            pstar[kept], params, dtype="float32"
+        )
+        assert not solo_esc.any()
+        np.testing.assert_array_equal(mixed_fwd.fM[kept], solo_fwd.fM)
+        np.testing.assert_array_equal(mixed_fwd.loglik[kept], solo_fwd.loglik)
+
+    def test_clean_batch_never_escalates(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=())
+        pstar = emissions_batch(pwms, windows, params)
+        with scope() as reg:
+            _, _, escalated = wavefront_forward_backward(
+                pstar, params, dtype="float32"
+            )
+        assert not escalated.any()
+        assert reg.snapshot().counters.get("phmm.f32_escalations", 0) == 0
+
+    def test_align_batch_float32_calls_unchanged_for_escalated(self):
+        """End to end through the alignment layer: escalated pairs' z and
+        loglik are bitwise the float64 outcome."""
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=(1,))
+        out32 = align_batch(
+            pwms, windows, params, kernel="wavefront", dtype="float32"
+        )
+        out64 = align_batch(pwms, windows, params, kernel="wavefront")
+        np.testing.assert_array_equal(out32.z[1], out64.z[1])
+        np.testing.assert_array_equal(out32.loglik[1], out64.loglik[1])
+        # kept pairs stay within the fast path's tolerance
+        np.testing.assert_allclose(out32.loglik, out64.loglik, rtol=1e-4)
+
+
+class TestMaskCriteria:
+    """Unit-level checks of each escalation trigger on doctored results."""
+
+    def _clean_f32(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=())
+        pstar64 = emissions_batch(pwms, windows, params)
+        pstar32 = pstar64.astype(np.float32)
+        fwd = forward_wavefront(pstar32, params, dtype="float32")
+        bwd = backward_wavefront(pstar32, params, dtype="float32")
+        return params, pstar64, pstar32, fwd, bwd
+
+    def test_clean_results_produce_empty_mask(self):
+        _, pstar64, pstar32, fwd, bwd = self._clean_f32()
+        mask = f32_escalation_mask(pstar64, pstar32, fwd, bwd, "semiglobal")
+        assert not mask.any()
+
+    def test_emission_underflow_trigger(self):
+        _, pstar64, pstar32, fwd, bwd = self._clean_f32()
+        pstar64 = pstar64.copy()
+        pstar32 = pstar32.copy()
+        pstar64[2, 0, 0] = 1e-46
+        pstar32[2, 0, 0] = 0.0
+        mask = f32_escalation_mask(pstar64, pstar32, fwd, bwd, "semiglobal")
+        np.testing.assert_array_equal(mask, np.arange(pstar64.shape[0]) == 2)
+
+    def test_non_finite_loglik_trigger(self):
+        _, pstar64, pstar32, fwd, bwd = self._clean_f32()
+        fwd.loglik[1] = np.nan
+        mask = f32_escalation_mask(pstar64, pstar32, fwd, bwd, "semiglobal")
+        assert mask[1] and mask.sum() == 1
+
+    def test_non_finite_matrix_trigger(self):
+        _, pstar64, pstar32, fwd, bwd = self._clean_f32()
+        bwd.bGX[3, 1, 1] = np.inf
+        mask = f32_escalation_mask(pstar64, pstar32, fwd, bwd, "semiglobal")
+        assert mask[3] and mask.sum() == 1
+
+    def test_pass_disagreement_trigger(self):
+        _, pstar64, pstar32, fwd, bwd = self._clean_f32()
+        fwd.loglik[0] += 10 * F32_LOGLIK_TOL * max(1.0, abs(fwd.loglik[0]))
+        mask = f32_escalation_mask(pstar64, pstar32, fwd, bwd, "semiglobal")
+        assert mask[0] and mask.sum() == 1
+
+
+class TestSanitizerIntegration:
+    def test_driver_passes_sanitizer_on_fixture(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=(1, 3))
+        pstar = emissions_batch(pwms, windows, params)
+        with sanitize.sanitized():
+            wavefront_forward_backward(pstar, params, dtype="float32")
+
+    def test_check_escalation_rejects_leftover_non_finite(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=())
+        pstar = emissions_batch(pwms, windows, params)
+        fwd, bwd, escalated = wavefront_forward_backward(
+            pstar, params, dtype="float32"
+        )
+        fwd.loglik[0] = np.nan  # a pair the mask "missed"
+        with pytest.raises(SanitizerError):
+            sanitize.check_escalation(escalated, fwd, bwd)
+
+    def test_sanitized_float32_alignment_is_observe_only(self):
+        """A clean float32 run under the sanitizer must not raise: f32
+        rounding legitimately puts z mass a hair over unity, which the
+        dtype-aware ``F32_SUM_TOLERANCE`` absorbs (the float64 tolerance
+        false-positived here)."""
+        rng = np.random.default_rng(2024)
+        B, N, M = 32, 30, 44
+        codes = rng.integers(0, 4, size=(B, N)).astype(np.uint8)
+        quals = rng.uniform(0.001, 0.02, size=(B, N))
+        pwms = np.stack(
+            [pwm_from_codes(c, q) for c, q in zip(codes, quals)]
+        )
+        windows = rng.integers(0, 4, size=(B, M)).astype(np.uint8)
+        params = PHMMParams()
+        with sanitize.sanitized():
+            out32 = align_batch(
+                pwms, windows, params, kernel="wavefront", dtype="float32"
+            )
+        out64 = align_batch(pwms, windows, params, kernel="wavefront")
+        np.testing.assert_allclose(out32.loglik, out64.loglik, rtol=1e-2)
+
+    def test_check_escalation_rejects_shape_mismatch(self):
+        params = underflow_params()
+        pwms, windows = fixture_batch(offenders=())
+        pstar = emissions_batch(pwms, windows, params)
+        fwd, bwd, _ = wavefront_forward_backward(pstar, params, dtype="float32")
+        with pytest.raises(SanitizerError):
+            sanitize.check_escalation(np.zeros(2, dtype=bool), fwd, bwd)
+
+
+class TestConfigPlumbing:
+    def test_kernel_and_dtype_validated(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(phmm_kernel="systolic")
+        with pytest.raises(ConfigError):
+            PipelineConfig(phmm_dtype="float16")
+        with pytest.raises(ConfigError):
+            PipelineConfig(phmm_kernel="rowsweep", phmm_dtype="float32")
+
+    def test_valid_combinations_accepted(self):
+        assert PipelineConfig().phmm_kernel == "rowsweep"
+        assert PipelineConfig().phmm_dtype == "float64"
+        assert PipelineConfig(phmm_kernel="wavefront").phmm_dtype == "float64"
+        cfg = PipelineConfig(phmm_kernel="wavefront", phmm_dtype="float32")
+        assert cfg.phmm_dtype == "float32"

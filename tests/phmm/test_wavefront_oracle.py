@@ -1,0 +1,389 @@
+"""Differential harness: wavefront kernels vs the naive reference oracles.
+
+The wavefront kernels promise more than the row-sweep kernels ever could:
+**bitwise** equality with :mod:`repro.phmm.reference_impl` in float64.
+Power-of-two scaling shifts exponents without touching significands and
+each cell is evaluated with the oracle's exact expression order, so
+undoing the scales with ``ldexp`` (:func:`unscale_exact` on the integer
+``row_exp``) must reproduce the naive unscaled matrices bit for bit —
+``assert_array_equal``, not ``allclose``.  float32 is held to a tolerance
+oracle instead, with the escalation driver (see
+``test_dtype_escalation``) covering the pairs the fast path cannot serve.
+
+Degenerate shapes ride along: the empty batch, length-1 reads, reads
+longer than their window, and all-N windows — each a distinct boundary of
+the anti-diagonal geometry (no diagonals to sweep, single-cell diagonals,
+rectangular wavefronts wider than tall, uniform emissions).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError
+from repro.observability import scope
+from repro.phmm.alignment import align_batch
+from repro.phmm.banded import BandSpec
+from repro.phmm.forward_backward import (
+    backward_batch,
+    emissions_batch,
+    forward_batch,
+)
+from repro.phmm.model import PHMMParams
+from repro.phmm.pwm import pwm_from_codes
+from repro.phmm.reference_impl import backward_naive, forward_naive
+from repro.phmm.wavefront import (
+    backward_wavefront,
+    forward_wavefront,
+    unscale_exact,
+    wavefront_forward_backward,
+)
+
+MODES = ("semiglobal", "global")
+
+
+@st.composite
+def batch_case(draw, b_max=4, n_max=6, m_max=7):
+    """A batch of B same-shape (pwm, window) pairs with varied qualities."""
+    B = draw(st.integers(min_value=1, max_value=b_max))
+    N = draw(st.integers(min_value=1, max_value=n_max))
+    M = draw(st.integers(min_value=1, max_value=m_max))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    pwms = np.stack(
+        [
+            pwm_from_codes(
+                rng.integers(0, 4, N).astype(np.uint8),
+                rng.uniform(0.0, 0.74, N),
+            )
+            for _ in range(B)
+        ]
+    )
+    windows = rng.integers(0, 5, (B, M)).astype(np.uint8)
+    return pwms, windows
+
+
+@st.composite
+def params_strategy(draw):
+    gap_open = draw(st.floats(min_value=0.005, max_value=0.2))
+    gap_extend = draw(st.floats(min_value=0.05, max_value=0.9))
+    return PHMMParams(gap_open=gap_open, gap_extend=gap_extend)
+
+
+def naive_loglik(like: float) -> float:
+    with np.errstate(divide="ignore"):
+        return float(np.log(like)) if like > 0 else -np.inf
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_forward_bitwise_vs_naive_float64(case, params, mode):
+    pwms, windows = case
+    pstar = emissions_batch(pwms, windows, params)
+    fwd = forward_wavefront(pstar, params, mode=mode)
+    assert fwd.row_exp is not None and fwd.row_exp.dtype == np.int64
+    np.testing.assert_array_equal(
+        fwd.log_scale, fwd.row_exp.astype(np.float64) * np.log(2.0)
+    )
+    fM = unscale_exact(fwd.fM, fwd.row_exp)
+    fGX = unscale_exact(fwd.fGX, fwd.row_exp)
+    fGY = unscale_exact(fwd.fGY, fwd.row_exp)
+    for b in range(pwms.shape[0]):
+        nM, nGX, nGY, like = forward_naive(pstar[b], params, mode=mode)
+        np.testing.assert_array_equal(fM[b], nM)
+        np.testing.assert_array_equal(fGX[b], nGX)
+        np.testing.assert_array_equal(fGY[b], nGY)
+        assert fwd.loglik[b] == naive_loglik(like)
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_backward_bitwise_vs_naive_float64(case, params, mode):
+    pwms, windows = case
+    pstar = emissions_batch(pwms, windows, params)
+    bwd = backward_wavefront(pstar, params, mode=mode)
+    bM = unscale_exact(bwd.bM, bwd.row_exp)
+    bGX = unscale_exact(bwd.bGX, bwd.row_exp)
+    bGY = unscale_exact(bwd.bGY, bwd.row_exp)
+    for b in range(pwms.shape[0]):
+        nM, nGX, nGY = backward_naive(pstar[b], params, mode=mode)
+        np.testing.assert_array_equal(bM[b], nM)
+        np.testing.assert_array_equal(bGX[b], nGX)
+        np.testing.assert_array_equal(bGY[b], nGY)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_float32_loglik_within_tolerance(case, params, mode):
+    """Tolerance oracle: the escalation-merged float32 batch tracks float64.
+
+    Pairs the mask escalated are bitwise float64 already; kept pairs must
+    sit within the fast path's advertised rounding envelope.
+    """
+    pwms, windows = case
+    pstar = emissions_batch(pwms, windows, params)
+    fwd64 = forward_wavefront(pstar, params, mode=mode)
+    fwd32, _, escalated = wavefront_forward_backward(
+        pstar, params, mode=mode, dtype="float32"
+    )
+    rel = np.abs(fwd32.loglik - fwd64.loglik) / np.maximum(
+        1.0, np.abs(fwd64.loglik)
+    )
+    both_inf = np.isneginf(fwd32.loglik) & np.isneginf(fwd64.loglik)
+    assert np.all(both_inf | (rel < 1e-3))
+    np.testing.assert_array_equal(
+        fwd32.loglik[escalated], fwd64.loglik[escalated]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_batch_composition_is_not_load_bearing(case, params, mode):
+    """Per-pair power-of-two scales make results bitwise batch-invariant."""
+    pwms, windows = case
+    pstar = emissions_batch(pwms, windows, params)
+    fwd = forward_wavefront(pstar, params, mode=mode)
+    bwd = backward_wavefront(pstar, params, mode=mode)
+    for b in range(pwms.shape[0]):
+        fs = forward_wavefront(pstar[b : b + 1], params, mode=mode)
+        bs = backward_wavefront(pstar[b : b + 1], params, mode=mode)
+        np.testing.assert_array_equal(fwd.fM[b], fs.fM[0])
+        np.testing.assert_array_equal(fwd.row_exp[b], fs.row_exp[0])
+        np.testing.assert_array_equal(fwd.loglik[b], fs.loglik[0])
+        np.testing.assert_array_equal(bwd.bM[b], bs.bM[0])
+        np.testing.assert_array_equal(bwd.row_exp[b], bs.row_exp[0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=batch_case(), params=params_strategy(), mode=st.sampled_from(MODES))
+def test_covering_band_bitwise_equals_full(case, params, mode):
+    pwms, windows = case
+    N, M = pwms.shape[1], windows.shape[1]
+    pstar = emissions_batch(pwms, windows, params)
+    band = BandSpec(n=N, m=M, center=M // 2, width=N + M)
+    assert band.covers_matrix()
+    for banded, full in (
+        (
+            forward_wavefront(pstar, params, mode=mode, band=band),
+            forward_wavefront(pstar, params, mode=mode),
+        ),
+    ):
+        np.testing.assert_array_equal(banded.fM, full.fM)
+        np.testing.assert_array_equal(banded.fGX, full.fGX)
+        np.testing.assert_array_equal(banded.fGY, full.fGY)
+        np.testing.assert_array_equal(banded.row_exp, full.row_exp)
+        np.testing.assert_array_equal(banded.loglik, full.loglik)
+    bb = backward_wavefront(pstar, params, mode=mode, band=band)
+    bf = backward_wavefront(pstar, params, mode=mode)
+    np.testing.assert_array_equal(bb.bM, bf.bM)
+    np.testing.assert_array_equal(bb.row_exp, bf.row_exp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=9),
+    m=st.integers(min_value=1, max_value=12),
+    center=st.integers(min_value=-4, max_value=14),
+    width=st.integers(min_value=1, max_value=6),
+)
+def test_diag_bounds_agrees_with_row_bounds(n, m, center, width):
+    """The anti-diagonal band geometry is the row geometry, re-sliced."""
+    band = BandSpec(n=n, m=m, center=center, width=width)
+    by_rows = {
+        (i, j)
+        for i in range(n + 1)
+        for j in range(*(lambda lo_hi: (lo_hi[0], lo_hi[1] + 1))(band.row_bounds(i)))
+    }
+    by_diags = set()
+    for d in range(n + m + 1):
+        ilo, ihi = band.diag_bounds(d)
+        for i in range(ilo, ihi + 1):
+            by_diags.add((i, d - i))
+    assert by_diags == by_rows
+
+
+class TestDegenerateShapes:
+    def test_empty_batch(self):
+        params = PHMMParams()
+        pstar = np.zeros((0, 3, 5))
+        fwd = forward_wavefront(pstar, params)
+        bwd = backward_wavefront(pstar, params)
+        assert fwd.fM.shape == (0, 4, 6)
+        assert fwd.loglik.shape == (0,)
+        assert fwd.row_exp.shape == (0, 4)
+        assert bwd.bM.shape == (0, 4, 6)
+        f32fwd, f32bwd, esc = wavefront_forward_backward(
+            pstar, params, dtype="float32"
+        )
+        assert esc.shape == (0,) and f32fwd.fM.dtype == np.float64
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_length_one_read(self, mode):
+        """N = 1: every anti-diagonal holds at most one DP row."""
+        params = PHMMParams()
+        rng = np.random.default_rng(3)
+        pwms = np.stack(
+            [
+                pwm_from_codes(np.array([c], dtype=np.uint8), np.array([0.05]))
+                for c in range(4)
+            ]
+        )
+        windows = rng.integers(0, 5, (4, 6)).astype(np.uint8)
+        pstar = emissions_batch(pwms, windows, params)
+        fwd = forward_wavefront(pstar, params, mode=mode)
+        fM = unscale_exact(fwd.fM, fwd.row_exp)
+        for b in range(4):
+            nM, *_, like = forward_naive(pstar[b], params, mode=mode)
+            np.testing.assert_array_equal(fM[b], nM)
+            assert fwd.loglik[b] == naive_loglik(like)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_read_longer_than_window(self, mode):
+        """N > M: the wavefront is taller than wide; alignment needs G_X."""
+        params = PHMMParams()
+        rng = np.random.default_rng(11)
+        N, M, B = 9, 4, 3
+        pwms = np.stack(
+            [
+                pwm_from_codes(
+                    rng.integers(0, 4, N).astype(np.uint8),
+                    rng.uniform(0.0, 0.3, N),
+                )
+                for _ in range(B)
+            ]
+        )
+        windows = rng.integers(0, 4, (B, M)).astype(np.uint8)
+        pstar = emissions_batch(pwms, windows, params)
+        fwd = forward_wavefront(pstar, params, mode=mode)
+        bwd = backward_wavefront(pstar, params, mode=mode)
+        fM = unscale_exact(fwd.fM, fwd.row_exp)
+        bM = unscale_exact(bwd.bM, bwd.row_exp)
+        for b in range(B):
+            nM, *_, like = forward_naive(pstar[b], params, mode=mode)
+            np.testing.assert_array_equal(fM[b], nM)
+            assert fwd.loglik[b] == naive_loglik(like)
+            wM, _, _ = backward_naive(pstar[b], params, mode=mode)
+            np.testing.assert_array_equal(bM[b], wM)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_n_window(self, mode):
+        """All-N windows emit uniformly; still bitwise against the oracle."""
+        params = PHMMParams()
+        rng = np.random.default_rng(17)
+        N, M, B = 5, 8, 2
+        pwms = np.stack(
+            [
+                pwm_from_codes(
+                    rng.integers(0, 4, N).astype(np.uint8),
+                    rng.uniform(0.0, 0.5, N),
+                )
+                for _ in range(B)
+            ]
+        )
+        windows = np.full((B, M), 4, dtype=np.uint8)
+        pstar = emissions_batch(pwms, windows, params)
+        fwd = forward_wavefront(pstar, params, mode=mode)
+        fM = unscale_exact(fwd.fM, fwd.row_exp)
+        for b in range(B):
+            nM, *_, like = forward_naive(pstar[b], params, mode=mode)
+            np.testing.assert_array_equal(fM[b], nM)
+            assert fwd.loglik[b] == naive_loglik(like)
+
+    @pytest.mark.parametrize("bad", [(2, 0, 5), (2, 5, 0)])
+    def test_zero_length_read_or_window_rejected(self, bad):
+        with pytest.raises(AlignmentError):
+            forward_wavefront(np.zeros(bad), PHMMParams())
+        with pytest.raises(AlignmentError):
+            backward_wavefront(np.zeros(bad), PHMMParams())
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(AlignmentError):
+            forward_wavefront(np.zeros((1, 2, 3)), PHMMParams(), dtype="float16")
+
+
+class TestCounterParity:
+    """Wavefront kernels feed the same observability counters as row-sweep."""
+
+    def test_full_fill_counters(self):
+        params = PHMMParams()
+        rng = np.random.default_rng(1)
+        B, N, M = 3, 4, 6
+        pwms = np.stack(
+            [
+                pwm_from_codes(
+                    rng.integers(0, 4, N).astype(np.uint8),
+                    rng.uniform(0.0, 0.3, N),
+                )
+                for _ in range(B)
+            ]
+        )
+        windows = rng.integers(0, 5, (B, M)).astype(np.uint8)
+        pstar = emissions_batch(pwms, windows, params)
+        with scope() as reg:
+            forward_wavefront(pstar, params)
+            backward_wavefront(pstar, params)
+        counters = reg.snapshot().counters
+        assert counters["phmm.pairs"] == B
+        assert counters["phmm.forward_cells"] == B * N * M
+        assert counters["phmm.backward_cells"] == B * N * M
+        assert counters["phmm.cells_full"] == 2 * B * N * M
+        assert counters["phmm.wavefront_batches"] == 1
+        assert "phmm.cells_banded" not in counters
+
+    def test_banded_fill_counters(self):
+        params = PHMMParams()
+        rng = np.random.default_rng(2)
+        B, N, M = 2, 6, 10
+        pwms = np.stack(
+            [
+                pwm_from_codes(
+                    rng.integers(0, 4, N).astype(np.uint8),
+                    rng.uniform(0.0, 0.3, N),
+                )
+                for _ in range(B)
+            ]
+        )
+        windows = rng.integers(0, 5, (B, M)).astype(np.uint8)
+        pstar = emissions_batch(pwms, windows, params)
+        band = BandSpec(n=N, m=M, center=2, width=2)
+        with scope() as reg:
+            forward_wavefront(pstar, params, band=band)
+        counters = reg.snapshot().counters
+        assert counters["phmm.forward_cells"] == B * band.n_cells()
+        assert counters["phmm.cells_banded"] == B * band.n_cells()
+        assert "phmm.cells_full" not in counters
+
+
+def test_align_batch_kernel_dispatch_matches():
+    """align_batch(kernel=...) runs the chosen kernels; results agree."""
+    params = PHMMParams()
+    rng = np.random.default_rng(23)
+    B, N, M = 4, 8, 14
+    pwms = np.stack(
+        [
+            pwm_from_codes(
+                rng.integers(0, 4, N).astype(np.uint8),
+                rng.uniform(0.001, 0.3, N),
+            )
+            for _ in range(B)
+        ]
+    )
+    windows = rng.integers(0, 5, (B, M)).astype(np.uint8)
+    wf = align_batch(pwms, windows, params, kernel="wavefront")
+    rs = align_batch(pwms, windows, params, kernel="rowsweep")
+    np.testing.assert_allclose(wf.loglik, rs.loglik, rtol=1e-9)
+    np.testing.assert_allclose(wf.z, rs.z, rtol=1e-7, atol=1e-12)
+    with pytest.raises(AlignmentError):
+        align_batch(pwms, windows, params, kernel="diagonal")
+    with pytest.raises(AlignmentError):
+        align_batch(pwms, windows, params, kernel="rowsweep", dtype="float32")
+
+
+def test_rowsweep_results_leave_row_exp_unset():
+    params = PHMMParams()
+    pstar = emissions_batch(
+        np.full((1, 3, 4), 0.25), np.zeros((1, 5), dtype=np.uint8), params
+    )
+    assert forward_batch(pstar, params).row_exp is None
+    assert backward_batch(pstar, params).row_exp is None

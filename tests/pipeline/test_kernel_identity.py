@@ -1,0 +1,66 @@
+"""Kernel families are interchangeable at the SNP-call level.
+
+The tentpole promise of the wavefront kernels is that threading them
+through the pipeline is *observationally free* in float64: the DP kernels
+differ in sweep order and scaling strategy, but the SNP calls — position,
+reference and alternate allele — come out identical.  The float32 fast
+path promises the same calls via its escalation contract.  These tests pin
+both promises end to end on the tiny deterministic workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workload import build_workload
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+
+N_READS = 600  # subset of the tiny workload: enough to call SNPs, fast
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(scale="tiny", seed=2012)
+
+
+def _run(workload, **cfg_kwargs):
+    cfg = PipelineConfig(**cfg_kwargs)
+    result = GnumapSnp(workload.reference, cfg).run(workload.reads[:N_READS])
+    calls = [(s.pos, s.ref_name, s.alt_name) for s in result.snps]
+    return calls, result
+
+
+@pytest.fixture(scope="module")
+def rowsweep_full(workload):
+    return _run(workload, phmm_kernel="rowsweep")
+
+
+def test_wavefront_float64_calls_identical_full(workload, rowsweep_full):
+    base_calls, base = rowsweep_full
+    calls, result = _run(workload, phmm_kernel="wavefront")
+    assert len(base_calls) > 0
+    assert calls == base_calls
+    # evidence accumulators agree to rounding (the kernels' scalings
+    # differ in association order, not in math)
+    np.testing.assert_allclose(
+        result.accumulator.snapshot(),
+        base.accumulator.snapshot(),
+        rtol=1e-9,
+        atol=1e-12,
+    )
+
+
+def test_wavefront_float64_calls_identical_banded(workload, rowsweep_full):
+    base_calls, _ = rowsweep_full
+    calls, _ = _run(
+        workload, phmm_kernel="wavefront", band_mode="adaptive"
+    )
+    assert calls == base_calls
+
+
+def test_wavefront_float32_calls_identical(workload, rowsweep_full):
+    base_calls, _ = rowsweep_full
+    calls, _ = _run(
+        workload, phmm_kernel="wavefront", phmm_dtype="float32"
+    )
+    assert calls == base_calls
