@@ -30,6 +30,7 @@ from repro.phmm.wavefront import F32_LOGLIK_TOL, wavefront_forward_backward
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
 from repro.simulate.genome_sim import GenomeSpec, simulate_genome
+from repro.util.rng import resolve_rng
 
 B, N, M = 128, 62, 78
 
@@ -51,7 +52,7 @@ def _merge_ledger(update: dict) -> None:
 
 @pytest.fixture(scope="module")
 def phmm_batch():
-    rng = np.random.default_rng(7)
+    rng = resolve_rng(7)
     params = PHMMParams()
     pwms = np.stack(
         [
@@ -269,7 +270,7 @@ def test_bench_posteriors(benchmark, phmm_batch):
 
 @pytest.mark.parametrize("mode", ["NORM", "CHARDISC", "CENTDISC"])
 def test_bench_accumulator_add(benchmark, mode):
-    rng = np.random.default_rng(11)
+    rng = resolve_rng(11)
     length = 100_000
     positions = rng.integers(0, length, 10_000)
     z = rng.dirichlet([8, 1, 1, 1, 0.2], size=10_000)
@@ -278,14 +279,14 @@ def test_bench_accumulator_add(benchmark, mode):
 
 
 def test_bench_lrt_monoploid(benchmark):
-    rng = np.random.default_rng(13)
+    rng = resolve_rng(13)
     z = rng.gamma(2.0, 2.0, size=(50_000, 5))
     stat = benchmark(lrt_statistic_monoploid, z)
     assert stat.shape == (50_000,)
 
 
 def test_bench_lrt_diploid(benchmark):
-    rng = np.random.default_rng(17)
+    rng = resolve_rng(17)
     z = rng.gamma(2.0, 2.0, size=(50_000, 5))
     stat, het = benchmark(lrt_statistic_diploid, z)
     assert het.dtype == bool

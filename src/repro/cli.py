@@ -68,6 +68,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
         band_tolerance=args.band_tolerance,
         phmm_kernel=args.phmm_kernel,
         phmm_dtype=args.phmm_dtype,
+        alignment_mode=args.alignment_mode,
         mp_chunk_timeout=args.chunk_timeout,
         mp_max_retries=args.max_retries,
         mp_fault_spec=args.fault_spec,
@@ -117,6 +118,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         band_tolerance=args.band_tolerance,
         phmm_kernel=args.phmm_kernel,
         phmm_dtype=args.phmm_dtype,
+        alignment_mode=args.alignment_mode,
     )
     args._config = config
     engine = Engine.from_fasta(args.reference, config)
@@ -255,6 +257,14 @@ def _add_kernel_args(p: argparse.ArgumentParser) -> None:
         choices=["float64", "float32"],
         help="wavefront kernel precision; float32 runs the fast path with "
         "automatic per-pair escalation back to float64 (default: float64)",
+    )
+    p.add_argument(
+        "--alignment-mode",
+        default="semiglobal",
+        choices=["semiglobal", "global"],
+        help="PHMM boundary conditions: 'semiglobal' (default; reads may "
+        "slide with free edge gaps) or 'global' (paper-literal, end-to-end "
+        "paths; incompatible with --phmm-dtype float32)",
     )
 
 

@@ -180,6 +180,14 @@ class PipelineConfig:
                 "phmm_dtype='float32' requires phmm_kernel='wavefront' "
                 "(the rowsweep kernels are float64-only)"
             )
+        if self.phmm_dtype == "float32" and self.alignment_mode == "global":
+            raise ConfigError(
+                "phmm_dtype='float32' requires alignment_mode='semiglobal': "
+                "global alignments accumulate the full O(M+N) gap-run "
+                "penalty in one path score, which overflows the float32 "
+                "escalation contract's validated range (DESIGN §12 "
+                "calibrates the fast path on semi-global paths only)"
+            )
         if self.mp_start_method not in MP_START_METHODS:
             raise ConfigError(
                 f"mp_start_method must be one of {list(MP_START_METHODS)}, "

@@ -79,9 +79,9 @@ def _init_worker(
         trace.enable()
     trace.set_process_label("worker")
     reference = Reference(ref_codes, name=ref_name)
-    _WORKER["pipe"] = GnumapSnp(reference, config)  # replint: disable=RPL301
-    _WORKER["config"] = config  # replint: disable=RPL301
-    _WORKER["faults"] = fault_plan  # replint: disable=RPL301
+    _WORKER["pipe"] = GnumapSnp(reference, config)  # replint: disable=RPL301,RPL801
+    _WORKER["config"] = config  # replint: disable=RPL301,RPL801
+    _WORKER["faults"] = fault_plan  # replint: disable=RPL301,RPL801
 
 
 def _map_chunk(
@@ -188,7 +188,9 @@ def map_reads_multiprocessing(
         timeout=config.mp_chunk_timeout,
         max_retries=config.mp_max_retries,
         backoff_base=config.mp_backoff_base,
-        validate=validate_partial if sanitize.enabled() else None,
+        # validate= runs in the *parent* on returned partials; it is never
+        # pickled or shipped to a worker, so capturing locals here is safe.
+        validate=validate_partial if sanitize.enabled() else None,  # replint: disable=RPL802
     )
 
     merged: "Accumulator | None" = None

@@ -5,6 +5,7 @@ The final test in this module is the enforcement hook: the repository's own
 """
 
 import json
+import re
 import subprocess
 import sys
 import textwrap
@@ -12,10 +13,10 @@ from pathlib import Path
 
 import pytest
 
-from replint import ReplintConfig, __version__, lint_paths, load_config
+from replint import ReplintConfig, __version__, lint_file, lint_paths, load_config
 from replint.cli import main
-from replint.findings import Finding, render_json, render_text
-from replint.rules import ALL_RULES, RULES_BY_ID
+from replint.findings import Finding, render_json, render_sarif, render_text
+from replint.rules import ALL_RULES, KNOWN_RULE_IDS, PROJECT_RULES, RULES_BY_ID
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -81,6 +82,77 @@ class TestCli:
         for rule in ALL_RULES:
             assert rule.rule_id in out
             assert rule.rule_name in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        assert main([str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "replint"
+        assert [r["ruleId"] for r in run["results"]] == ["RPL201"]
+        region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_sarif_rule_catalogue_covers_known_ids(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        listed = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert KNOWN_RULE_IDS <= listed
+
+    def test_stats_line(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        assert main([str(tmp_path), "--stats"]) == 1
+        err = capsys.readouterr().err
+        assert re.search(
+            r"^replint-stats: files=1 findings=1 seconds=\d+\.\d\d project=on$",
+            err,
+            re.M,
+        )
+
+    def test_stats_reports_project_off(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--stats", "--no-project"]) == 0
+        assert "project=off" in capsys.readouterr().err
+
+    def test_select_accepts_project_rule_ids(self, tmp_path):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--select", "RPL801"]) == 0
+
+    def test_audit_reports_stale_suppression(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "def f(x):\n    return x  # replint: disable=RPL201\n"
+        )
+        assert main([str(tmp_path)]) == 0
+        assert main([str(tmp_path), "--audit-suppressions"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL900" in out
+        assert "matched no finding" in out
+
+    def test_audit_quiet_when_suppression_used(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import numpy as np\n\n"
+            "def f():\n"
+            "    return np.random.normal()  # replint: disable=RPL201\n"
+        )
+        assert main([str(tmp_path), "--audit-suppressions"]) == 0
+
+    def test_unreadable_file_reported_not_fatal(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe\x00broken")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL000" in out
+        assert "cannot read file" in out
+        assert "bad.py" in out
+
+    def test_list_rules_includes_project_passes(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in PROJECT_RULES:
+            assert rule.rule_id in out
+        assert "(project pass)" in out
 
     def test_module_entrypoint(self, tmp_path):
         (tmp_path / "mod.py").write_text(TRIGGER)
@@ -150,6 +222,33 @@ class TestRenderers:
         assert doc["files_checked"] == 7
         assert doc["findings"][0]["rule_id"] == "RPL201"
 
+    def test_render_sarif_location(self):
+        doc = json.loads(render_sarif([self.FINDING], version="2.0.0"))
+        result = doc["runs"][0]["results"][0]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/x.py"
+        assert loc["region"] == {"startLine": 3, "startColumn": 5}
+        assert "unseeded-rng" in result["message"]["text"]
+
+    def test_render_sarif_empty_is_valid(self):
+        doc = json.loads(render_sarif([], version="2.0.0"))
+        assert doc["runs"][0]["results"] == []
+
+
+class TestUnreadableFiles:
+    def test_lint_file_unreadable(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_bytes(b"\xff\xfe\x00broken")
+        findings = lint_file(bad)
+        assert [f.rule_id for f in findings] == ["RPL000"]
+        assert "cannot read file" in findings[0].message
+
+    def test_lint_paths_keeps_going_past_unreadable(self, tmp_path):
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe\x00broken")
+        (tmp_path / "mod.py").write_text(TRIGGER)
+        findings = lint_paths([tmp_path])
+        assert sorted(f.rule_id for f in findings) == ["RPL000", "RPL201"]
+
 
 class TestRegistry:
     def test_at_least_five_rules(self):
@@ -161,6 +260,12 @@ class TestRegistry:
             assert type(rule).__doc__
             assert rule.rule_id.startswith("RPL")
 
+    def test_project_rules_documented_and_known(self):
+        for rule in PROJECT_RULES:
+            assert type(rule).__doc__
+            assert hasattr(rule, "check_project")
+            assert set(rule.rule_ids) <= KNOWN_RULE_IDS
+
 
 class TestRepositoryTree:
     def test_src_lints_clean(self):
@@ -171,4 +276,14 @@ class TestRepositoryTree:
     def test_tools_lint_clean(self):
         config = load_config(REPO_ROOT / "pyproject.toml")
         findings = lint_paths([REPO_ROOT / "tools"], config)
+        assert findings == [], "\n" + "\n".join(f.text() for f in findings)
+
+    def test_benchmarks_lint_clean(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths([REPO_ROOT / "benchmarks"], config)
+        assert findings == [], "\n" + "\n".join(f.text() for f in findings)
+
+    def test_src_has_no_stale_suppressions(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths([REPO_ROOT / "src"], config, audit=True)
         assert findings == [], "\n" + "\n".join(f.text() for f in findings)

@@ -466,6 +466,175 @@ class TestRPL601MetricNameGrammar:
         assert findings == []
 
 
+class TestRPL701DtypeNarrowing:
+    SNIPPET = """
+    import numpy as np
+
+    def forward(x):
+        return x.astype(np.float32)
+    """
+
+    def test_trigger_in_kernel_module(self):
+        findings = lint(self.SNIPPET, path=KERNEL)
+        assert ids(findings) == ["RPL701"]
+        assert "astype" in findings[0].message
+
+    def test_trigger_dtype_kwarg(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def alloc(n):
+                return np.zeros(n, dtype="float32")
+            """,
+            path=KERNEL,
+        )
+        assert ids(findings) == ["RPL701"]
+        assert "dtype=float32" in findings[0].message
+
+    def test_trigger_constructor(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def one():
+                return np.float32(1.0)
+            """,
+            path=KERNEL,
+        )
+        assert ids(findings) == ["RPL701"]
+
+    def test_sanctioned_module_exempt(self):
+        findings = lint(self.SNIPPET, path="src/repro/phmm/wavefront.py")
+        assert findings == []
+
+    def test_same_code_outside_kernel_clean(self):
+        findings = lint(self.SNIPPET, path=GENERIC)
+        assert findings == []
+
+    def test_widening_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def widen(x):
+                return x.astype(np.float64)
+            """,
+            path=KERNEL,
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def forward(x):
+                return x.astype(np.float32)  # replint: disable=RPL701
+            """,
+            path=KERNEL,
+        )
+        assert findings == []
+
+
+class TestRPL803SharedMemoryScope:
+    def test_trigger_unowned_handle(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leak(n):
+                shm = SharedMemory(create=True, size=n)
+                return shm.name
+            """
+        )
+        assert ids(findings) == ["RPL803"]
+        assert "owning scope" in findings[0].message
+
+    def test_trigger_import_module_spelling(self):
+        findings = lint(
+            """
+            from multiprocessing import shared_memory
+
+            def leak(n):
+                shared_memory.SharedMemory(create=True, size=n)
+            """
+        )
+        assert ids(findings) == ["RPL803"]
+
+    def test_clean_context_manager(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def ok(name):
+                with SharedMemory(name=name) as shm:
+                    return bytes(shm.buf)
+            """
+        )
+        assert findings == []
+
+    def test_clean_closed_in_scope(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def ok(n):
+                shm = SharedMemory(create=True, size=n)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+            """
+        )
+        assert findings == []
+
+    def test_clean_returned_handle(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make(n):
+                shm = SharedMemory(create=True, size=n)
+                return shm
+            """
+        )
+        assert findings == []
+
+    def test_clean_stored_on_owner(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Pool:
+                def __init__(self, n):
+                    self._shm = SharedMemory(create=True, size=n)
+            """
+        )
+        assert findings == []
+
+    def test_no_import_no_findings(self):
+        findings = lint(
+            """
+            def f(SharedMemory, n):
+                SharedMemory(create=True, size=n)
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leak(n):
+                shm = SharedMemory(create=True, size=n)  # replint: disable=RPL803
+                return shm.name
+            """
+        )
+        assert findings == []
+
+
 class TestSuppressionMechanics:
     def test_disable_all(self):
         findings = lint(
@@ -496,6 +665,37 @@ class TestSuppressionMechanics:
 
             def f(loglik):
                 return np.log(loglik) + np.random.normal()  # replint: disable=RPL101, RPL201
+            """
+        )
+        assert findings == []
+
+    def test_multiple_ids_one_stale(self):
+        # The listed-but-unmatched ID does not block the matching one.
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(loglik):
+                return np.log(loglik)  # replint: disable=RPL101,RPL301
+            """
+        )
+        assert findings == []
+
+    def test_suppression_on_decorated_def(self):
+        # The finding sits on a decorator line of a decorated def; the
+        # suppression must match there, not on the def line below.
+        findings = lint(
+            """
+            import numpy as np
+
+            def register(rng):
+                def wrap(fn):
+                    return fn
+                return wrap
+
+            @register(np.random.default_rng(0))  # replint: disable=RPL201
+            def f():
+                return 1
             """
         )
         assert findings == []

@@ -33,6 +33,18 @@ class TestPipelineConfig:
         with pytest.raises(ConfigError):
             PipelineConfig(alignment_mode="local")
 
+    def test_float32_requires_semiglobal_alignment(self):
+        # Global paths accumulate the full end-to-end gap penalty in one
+        # score, outside the float32 escalation contract's validated range.
+        with pytest.raises(ConfigError, match="semiglobal"):
+            PipelineConfig(
+                phmm_kernel="wavefront",
+                phmm_dtype="float32",
+                alignment_mode="global",
+            )
+        PipelineConfig(phmm_kernel="wavefront", phmm_dtype="float32")
+        PipelineConfig(phmm_kernel="wavefront", alignment_mode="global")
+
     def test_band_defaults_off(self):
         cfg = PipelineConfig()
         assert cfg.band_mode == "off"

@@ -8,28 +8,41 @@ from __future__ import annotations
 import argparse
 import sys
 import textwrap
+import time
 
 from replint import __version__
 from replint.config import load_config
 from replint.engine import iter_python_files, lint_paths
-from replint.findings import render_json, render_text
-from replint.rules import ALL_RULES, RULES_BY_ID
+from replint.findings import render_json, render_sarif, render_text
+from replint.rules import ALL_RULES, KNOWN_RULE_IDS, PROJECT_RULES
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="replint",
         description="repro's domain-specific static analyser "
-        "(numerical-domain, RNG, multiprocessing and exception hygiene)",
+        "(numerical-domain, RNG, multiprocessing and exception hygiene; "
+        "per-file rules plus interprocedural project passes)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=["text", "json"], default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="output format (default: text; sarif for "
+                        "GitHub code-scanning upload)")
     parser.add_argument("--select", default=None, metavar="IDS",
                         help="comma-separated rule IDs to run (default: all)")
     parser.add_argument("--config", default=None, metavar="PYPROJECT",
                         help="pyproject.toml to read [tool.replint] from")
+    parser.add_argument("--no-project", action="store_true",
+                        help="skip the interprocedural project passes "
+                        "(symbol table / call graph / dataflow)")
+    parser.add_argument("--audit-suppressions", action="store_true",
+                        help="also report suppression comments that matched "
+                        "no finding (RPL900)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print files/findings/wall-seconds to stderr "
+                        "(machine-greppable: 'replint-stats: ...')")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--version", action="version",
@@ -40,9 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
 def list_rules() -> str:
     """Human-readable rule catalogue from the registry docstrings."""
     blocks = []
-    for rule in ALL_RULES:
+    for rule in list(ALL_RULES) + list(PROJECT_RULES):
         doc = textwrap.dedent(type(rule).__doc__ or "").strip()
-        blocks.append(f"{rule.rule_id} [{rule.rule_name}]\n{textwrap.indent(doc, '    ')}")
+        scope = " (project pass)" if hasattr(rule, "check_project") else ""
+        blocks.append(
+            f"{rule.rule_id} [{rule.rule_name}]{scope}\n"
+            f"{textwrap.indent(doc, '    ')}"
+        )
     return "\n\n".join(blocks)
 
 
@@ -62,7 +79,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.select:
         ids = [part.strip() for part in args.select.split(",") if part.strip()]
-        unknown = [i for i in ids if i not in RULES_BY_ID]
+        unknown = [i for i in ids if i not in KNOWN_RULE_IDS]
         if unknown:
             print(f"replint: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
@@ -73,10 +90,26 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"replint: no Python files under {args.paths}", file=sys.stderr)
         return 2
 
-    findings = lint_paths(args.paths, config)
+    started = time.perf_counter()
+    findings = lint_paths(
+        args.paths,
+        config,
+        project=not args.no_project,
+        audit=args.audit_suppressions,
+    )
+    elapsed = time.perf_counter() - started
     n_checked = sum(1 for f in files if not config.is_excluded(f.as_posix()))
+    if args.stats:
+        # One stable line for CI to grep and budget against.
+        print(
+            f"replint-stats: files={n_checked} findings={len(findings)} "
+            f"seconds={elapsed:.2f} project={'off' if args.no_project else 'on'}",
+            file=sys.stderr,
+        )
     if args.format == "json":
         print(render_json(findings, n_checked, __version__))
+    elif args.format == "sarif":
+        print(render_sarif(findings, __version__))
     else:
         text = render_text(findings)
         if text:

@@ -1,4 +1,14 @@
-"""File walking, per-line suppressions, and rule dispatch."""
+"""File walking, per-line suppressions, rule dispatch and project passes.
+
+Per-file rules see one parsed file at a time (:func:`lint_source`); the
+project passes (:data:`replint.rules.PROJECT_RULES`) run once over the
+whole file set with a symbol table and call graph
+(:class:`replint.dataflow.ProjectContext`), which is what lets them follow
+a log-domain array or a worker-global mutation across module boundaries.
+Both kinds of finding honour the same per-line
+``# replint: disable=RPLxxx`` suppressions; ``audit=True`` additionally
+reports suppressions that matched nothing (RPL900).
+"""
 
 from __future__ import annotations
 
@@ -6,11 +16,12 @@ import ast
 import io
 import re
 import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from replint.config import ReplintConfig
 from replint.findings import Finding
-from replint.rules import ALL_RULES
+from replint.rules import ALL_RULES, PROJECT_RULES
 from replint.rules.base import FileContext, numpy_aliases
 
 _SUPPRESS_RE = re.compile(r"#\s*replint:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -43,25 +54,37 @@ def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
     return out
 
 
-def lint_source(
-    source: str, path: str, config: "ReplintConfig | None" = None
-) -> list[Finding]:
-    """Lint one file's source text; ``path`` is used for reporting/config."""
-    config = config or ReplintConfig()
+def _error_finding(path: str, line: int, col: int, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=col,
+        rule_id="RPL000",
+        rule_name="parse-error",
+        message=message,
+    )
+
+
+@dataclass
+class _LintedFile:
+    """One file's per-file results before suppression filtering."""
+
+    path: str
+    ctx: "FileContext | None"  # None when the file could not be parsed/read
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+
+def _lint_one(source: str, path: str, config: ReplintConfig) -> _LintedFile:
     posix = Path(path).as_posix()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=posix,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule_id="RPL000",
-                rule_name="parse-error",
-                message=f"cannot parse file: {exc.msg}",
-            )
-        ]
+        finding = _error_finding(
+            posix, exc.lineno or 1, (exc.offset or 1) - 1,
+            f"cannot parse file: {exc.msg}",
+        )
+        return _LintedFile(path=posix, ctx=None, findings=[finding])
     ctx = FileContext(
         path=posix,
         tree=tree,
@@ -69,23 +92,106 @@ def lint_source(
         config=config,
         numpy_aliases=numpy_aliases(tree),
     )
-    suppressed = parse_suppressions(source)
-    findings: list[Finding] = []
+    out = _LintedFile(path=posix, ctx=ctx, suppressions=parse_suppressions(source))
     for rule in ALL_RULES:
         if not config.rule_selected(rule.rule_id):
             continue
-        for finding in rule.check(ctx):
-            ids = suppressed.get(finding.line, frozenset())
-            if "all" in ids or finding.rule_id in ids:
-                continue
-            findings.append(finding)
-    return sorted(findings)
+        out.findings.extend(rule.check(ctx))
+    return out
+
+
+def _apply_suppressions(
+    files: "dict[str, _LintedFile]",
+    findings: "list[Finding]",
+    used: "dict[tuple[str, int], set[str]]",
+) -> list[Finding]:
+    kept: list[Finding] = []
+    for finding in findings:
+        linted = files.get(finding.path)
+        ids = (
+            linted.suppressions.get(finding.line, frozenset())
+            if linted is not None
+            else frozenset()
+        )
+        if "all" in ids or finding.rule_id in ids:
+            hit = "all" if "all" in ids and finding.rule_id not in ids else finding.rule_id
+            used.setdefault((finding.path, finding.line), set()).add(hit)
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _audit_findings(
+    files: "dict[str, _LintedFile]", used: "dict[tuple[str, int], set[str]]"
+) -> list[Finding]:
+    """RPL900 for every suppression ID that matched no finding."""
+    out: list[Finding] = []
+    for linted in files.values():
+        for line, ids in sorted(linted.suppressions.items()):
+            for rid in sorted(ids):
+                if rid in used.get((linted.path, line), set()):
+                    continue
+                out.append(
+                    Finding(
+                        path=linted.path,
+                        line=line,
+                        col=0,
+                        rule_id="RPL900",
+                        rule_name="unused-suppression",
+                        message=(
+                            f"suppression {rid!r} on this line matched no "
+                            "finding — remove it (stale suppressions hide "
+                            "future regressions)"
+                        ),
+                    )
+                )
+    return out
+
+
+def _project_findings(
+    files: "dict[str, _LintedFile]", config: ReplintConfig
+) -> list[Finding]:
+    """Run the interprocedural passes over every successfully parsed file."""
+    contexts = [f.ctx for f in files.values() if f.ctx is not None]
+    if not contexts:
+        return []
+    from replint.dataflow import ProjectContext
+
+    project = ProjectContext.build(contexts, config)
+    findings: list[Finding] = []
+    for rule in PROJECT_RULES:
+        if not any(config.rule_selected(rid) for rid in rule.rule_ids):
+            continue
+        findings.extend(
+            f for f in rule.check_project(project) if config.rule_selected(f.rule_id)
+        )
+    return findings
+
+
+def lint_source(
+    source: str, path: str, config: "ReplintConfig | None" = None
+) -> list[Finding]:
+    """Lint one file's source text with the per-file rules only.
+
+    ``path`` is used for reporting and path-scoped configuration.  The
+    interprocedural passes need the whole file set; use :func:`lint_paths`
+    or :func:`lint_files` for those.
+    """
+    config = config or ReplintConfig()
+    linted = _lint_one(source, path, config)
+    files = {linted.path: linted}
+    used: dict[tuple[str, int], set[str]] = {}
+    return sorted(_apply_suppressions(files, linted.findings, used))
 
 
 def lint_file(path: "Path | str", config: "ReplintConfig | None" = None) -> list[Finding]:
-    """Lint one file from disk."""
+    """Lint one file from disk (per-file rules only)."""
     p = Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), str(p), config)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [_error_finding(p.as_posix(), 1, 0, f"cannot read file: {exc}")]
+    return lint_source(source, str(p), config)
 
 
 def iter_python_files(paths: "list[str] | list[Path]") -> list[Path]:
@@ -100,14 +206,61 @@ def iter_python_files(paths: "list[str] | list[Path]") -> list[Path]:
     return sorted(out)
 
 
-def lint_paths(
-    paths: "list[str] | list[Path]", config: "ReplintConfig | None" = None
+def lint_files(
+    sources: "list[tuple[str, str]]",
+    config: "ReplintConfig | None" = None,
+    *,
+    project: bool = True,
+    audit: bool = False,
 ) -> list[Finding]:
-    """Lint every Python file under the given files/directories."""
+    """Lint in-memory (path, source) pairs: per-file rules + project passes.
+
+    This is the core the CLI and :func:`lint_paths` share, and the easiest
+    way to exercise the interprocedural passes against synthetic multi-file
+    fixtures in tests.
+    """
     config = config or ReplintConfig()
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        if config.is_excluded(path.as_posix()):
-            continue
-        findings.extend(lint_file(path, config))
+    files: dict[str, _LintedFile] = {}
+    raw: list[Finding] = []
+    for path, source in sources:
+        linted = _lint_one(source, path, config)
+        files[linted.path] = linted
+        raw.extend(linted.findings)
+    if project:
+        raw.extend(_project_findings(files, config))
+    used: dict[tuple[str, int], set[str]] = {}
+    findings = _apply_suppressions(files, raw, used)
+    if audit:
+        findings.extend(_audit_findings(files, used))
     return sorted(findings)
+
+
+def lint_paths(
+    paths: "list[str] | list[Path]",
+    config: "ReplintConfig | None" = None,
+    *,
+    project: bool = True,
+    audit: bool = False,
+) -> list[Finding]:
+    """Lint every Python file under the given files/directories.
+
+    Per-file rules run on each file; with ``project=True`` (the default)
+    the interprocedural passes run once over the whole set.  Files that
+    cannot be read or decoded surface as RPL000 findings instead of
+    aborting the run.
+    """
+    config = config or ReplintConfig()
+    sources: list[tuple[str, str]] = []
+    unreadable: list[Finding] = []
+    for path in iter_python_files(paths):
+        posix = path.as_posix()
+        if config.is_excluded(posix):
+            continue
+        try:
+            sources.append((str(path), path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError) as exc:
+            unreadable.append(
+                _error_finding(posix, 1, 0, f"cannot read file: {exc}")
+            )
+    findings = lint_files(sources, config, project=project, audit=audit)
+    return sorted(findings + unreadable)

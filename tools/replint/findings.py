@@ -43,3 +43,76 @@ def render_json(findings: list[Finding], files_checked: int, version: str) -> st
         "findings": [asdict(f) for f in findings],
     }
     return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: list[Finding], version: str) -> str:
+    """SARIF 2.1.0 document for GitHub code-scanning upload.
+
+    One run, one driver (``replint``), rule metadata drawn from the rule
+    registries' docstrings so code-scanning annotations link to the same
+    catalogue ``--list-rules`` prints.
+    """
+    # Local import: replint.rules.base imports Finding from this module, so
+    # a module-level import here would be circular.
+    from replint.rules import ALL_RULES, PROJECT_RULES
+
+    catalogue: dict[str, dict] = {}
+    for rule in list(ALL_RULES) + list(PROJECT_RULES):
+        doc = (type(rule).__doc__ or "").strip().splitlines()
+        short = doc[0].strip() if doc else rule.rule_name
+        for rid in getattr(rule, "rule_ids", (rule.rule_id,)):
+            catalogue.setdefault(
+                rid,
+                {
+                    "id": rid,
+                    "name": rule.rule_name,
+                    "shortDescription": {"text": short},
+                    "defaultConfiguration": {"level": "warning"},
+                },
+            )
+    for rid, name, text in (
+        ("RPL000", "parse-error", "File could not be read or parsed."),
+        ("RPL900", "unused-suppression", "Suppression comment matched no finding."),
+    ):
+        catalogue[rid] = {
+            "id": rid,
+            "name": name,
+            "shortDescription": {"text": text},
+            "defaultConfiguration": {"level": "warning"},
+        }
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": "warning",
+            "message": {"text": f"[{f.rule_name}] {f.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "replint",
+                        "version": version,
+                        "rules": [catalogue[k] for k in sorted(catalogue)],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,175 @@
+"""Interprocedural log/linear domain taint (project-wide RPL101/RPL102).
+
+The per-file RPL1xx rules classify values by *name* and go blind the moment
+a value crosses a function boundary: ``np.exp(normalise(w))`` is opaque to
+them because a call expression has no name.  This pass closes that hole
+using the project symbol table and call graph: every function gets an
+inferred return domain and parameter domains
+(:attr:`replint.dataflow.ProjectContext.return_domains`), and three
+cross-call shapes are checked —
+
+* ``np.log``/``np.exp`` applied to the *result of a call* whose return
+  domain makes the operation a double-log or a double-exponentiation
+  (reported as RPL101, same contract as the per-file rule);
+* an argument whose domain is known handed to a parameter inferred to live
+  in the *other* domain — including when producer and consumer sit in
+  different modules, two calls apart (reported as RPL102);
+* ``+``/``-`` between a call result and another classified operand in
+  mismatched domains (reported as RPL102).
+
+Findings are disjoint from the per-file rules by construction: every shape
+here involves at least one resolved call expression, which the per-file
+rules never classify.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from replint.findings import Finding
+from replint.rules.base import FileContext, expr_domain, terminal_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from replint.dataflow import ProjectContext
+
+_LOG_FUNCS = frozenset({"np.log", "np.log2", "np.log10", "np.log1p", "math.log"})
+_EXP_FUNCS = frozenset({"np.exp", "np.expm1", "math.exp"})
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        from replint.callgraph import dotted
+
+        name = dotted(node.func)
+        return f"{name}(...)" if name else "call result"
+    return repr(terminal_name(node) or "expression")
+
+
+class CrossCallDomainRule:
+    """RPL101/RPL102 (project): log/linear domain mixing across function
+    boundaries.
+
+    Return and parameter domains are inferred from the naming grammar plus
+    ``# replint: returns=log`` / ``# replint: param.<name>=linear`` seed
+    annotations on the ``def`` line, then propagated through the call graph
+    to a fixpoint — so a log-space array handed to a linear-space consumer
+    two calls away is caught even though every individual file looks clean.
+    """
+
+    rule_id = "RPL101"
+    rule_name = "domain-mix-call"
+    rule_ids = ("RPL101", "RPL102")
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        for ctx in project.files:
+            module = project.module_for_path(ctx.path)
+            yield from self._check_log_exp_of_call(project, ctx, module)
+            yield from self._check_binops(project, ctx, module)
+        yield from self._check_handoffs(project)
+
+    # -- np.log / np.exp of a call result ------------------------------------
+    def _check_log_exp_of_call(
+        self, project: "ProjectContext", ctx: FileContext, module: "str | None"
+    ) -> Iterator[Finding]:
+        path, tree = ctx.path, ctx.tree
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            target = project.norm_call_target(path, node)
+            if target not in _LOG_FUNCS and target not in _EXP_FUNCS:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Call):
+                continue  # per-file rule territory
+            fn = project.resolve_call(path, arg, module)
+            if fn is None:
+                continue
+            domain = project.return_domains.get(fn.qualname)
+            if target in _LOG_FUNCS and domain == "log":
+                yield Finding(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id="RPL101",
+                    rule_name="domain-mix-call",
+                    message=(
+                        f"{target} of {fn.node.name}(...), whose return is "
+                        f"log-domain (defined at {fn.path}:{fn.lineno}) — "
+                        "double log across the call"
+                    ),
+                )
+            elif target in _EXP_FUNCS and domain == "linear":
+                yield Finding(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id="RPL101",
+                    rule_name="domain-mix-call",
+                    message=(
+                        f"{target} of {fn.node.name}(...), whose return is "
+                        f"linear-domain (defined at {fn.path}:{fn.lineno}) — "
+                        "exponentiating a linear probability"
+                    ),
+                )
+
+    # -- arg -> param handoffs ------------------------------------------------
+    def _check_handoffs(self, project: "ProjectContext") -> Iterator[Finding]:
+        for site in project.graph.sites:
+            fn = project.table.functions.get(site.callee)
+            if fn is None:
+                continue
+            pairs: list[tuple[str, ast.expr]] = list(zip(fn.params, site.node.args))
+            for kw in site.node.keywords:
+                if kw.arg is not None and kw.arg in fn.params:
+                    pairs.append((kw.arg, kw.value))
+            for param, arg in pairs:
+                pdom = project.param_domain(site.callee, param)
+                if pdom is None:
+                    continue
+                adom = project.expr_domain(arg, site.path, site.module)
+                if adom is None or adom == pdom:
+                    continue
+                yield Finding(
+                    path=site.path,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    rule_id="RPL102",
+                    rule_name="domain-mix-arith",
+                    message=(
+                        f"{adom}-domain argument {_describe(arg)} passed to "
+                        f"{pdom}-domain parameter {param!r} of "
+                        f"{fn.node.name}() (defined at {fn.path}:{fn.lineno})"
+                    ),
+                )
+
+    # -- binops involving call results ---------------------------------------
+    def _check_binops(
+        self, project: "ProjectContext", ctx: FileContext, module: "str | None"
+    ) -> Iterator[Finding]:
+        path, tree = ctx.path, ctx.tree
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub))):
+                continue
+            if not (isinstance(node.left, ast.Call) or isinstance(node.right, ast.Call)):
+                continue  # name-vs-name is the per-file rule's job
+            if expr_domain(node.left, ctx) and expr_domain(node.right, ctx):
+                continue  # per-file RPL102 already classifies both sides
+            left = project.expr_domain(node.left, path, module)
+            right = project.expr_domain(node.right, path, module)
+            if left is None or right is None or left == right:
+                continue
+            log_side = node.left if left == "log" else node.right
+            lin_side = node.right if left == "log" else node.left
+            yield Finding(
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id="RPL102",
+                rule_name="domain-mix-arith",
+                message=(
+                    f"log-domain {_describe(log_side)} combined additively "
+                    f"with linear-domain {_describe(lin_side)} (domains "
+                    "inferred through the call graph)"
+                ),
+            )

@@ -1,0 +1,149 @@
+"""Kernel dtype contracts (RPL701, RPL702).
+
+DESIGN §12 gives the float32 fast path one home: the wavefront kernels,
+whose escalation machinery (``f32_escalation_mask`` + bitwise f64 splice)
+is what makes single precision safe.  Anywhere else, a float32 array in
+the numerical core is a silent ~2.7-bits-per-row underflow budget cut that
+no test will catch until a deep alignment flushes to zero.
+
+Two rules enforce the contract:
+
+* **RPL701** (per-file): an expression that *narrows* to float32
+  (``x.astype(np.float32)``, ``np.float32(x)``, ``dtype="float32"``) inside
+  a kernel module (``kernel_modules`` config) that is not one of the
+  sanctioned escalation-contract homes (``f32_sanctioned`` config, default
+  the wavefront module).
+* **RPL702** (project): a function whose *inferred return dtype* includes
+  float32 — directly or through its callees, per the dtype lattice in
+  :mod:`replint.dataflow` — called from a module outside the escalation
+  contract (``f32_contract`` config, default the whole ``phmm`` package).
+  That is the "float32 value reaching code outside the contract" case the
+  per-file rule cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from replint.findings import Finding
+from replint.rules.base import FileContext, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from replint.dataflow import ProjectContext
+
+_F32_NAMES = frozenset({"np.float32", "numpy.float32"})
+
+
+class DtypeNarrowingRule:
+    """RPL701: unannotated float32 narrowing in a kernel module outside the
+    escalation contract.
+
+    Single precision is only sound under the wavefront escalation machinery
+    (DESIGN §12).  Move the narrowing into a sanctioned module
+    (``f32_sanctioned`` config), or suppress with a justification if this
+    site genuinely implements part of the escalation contract.
+    """
+
+    rule_id = "RPL701"
+    rule_name = "dtype-narrowing"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.is_kernel_module(ctx.path):
+            return
+        if ctx.config.is_f32_sanctioned(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            how = self._narrows(node, ctx)
+            if how is None:
+                continue
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                rule_name=self.rule_name,
+                message=(
+                    f"float32 narrowing ({how}) in a kernel module outside "
+                    "the escalation contract — only the sanctioned f32 "
+                    "modules (f32_sanctioned config; see DESIGN §12) may "
+                    "narrow kernel values"
+                ),
+            )
+
+    def _narrows(self, node: ast.Call, ctx: FileContext) -> "str | None":
+        def is_f32(expr: ast.expr) -> bool:
+            name = dotted_name(expr)
+            if name is not None:
+                head, _, rest = name.partition(".")
+                if head in ctx.numpy_aliases:
+                    name = f"np.{rest}" if rest else "np"
+                if name in _F32_NAMES:
+                    return True
+            return isinstance(expr, ast.Constant) and expr.value == "float32"
+
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+            and is_f32(node.args[0])
+        ):
+            return "astype"
+        target = dotted_name(node.func)
+        if target is not None:
+            head, _, rest = target.partition(".")
+            if head in ctx.numpy_aliases:
+                target = f"np.{rest}" if rest else "np"
+            if target in _F32_NAMES:
+                return "np.float32(...)"
+        for kw in node.keywords:
+            if kw.arg == "dtype" and is_f32(kw.value):
+                return "dtype=float32"
+        return None
+
+
+class F32ContractEscapeRule:
+    """RPL702 (project): a float32-returning kernel function consumed
+    outside the escalation contract.
+
+    The dtype lattice is propagated through the call graph, so a helper
+    that merely *forwards* a float32 array it got from the wavefront
+    kernels is tracked too.  Consumers outside ``f32_contract`` must go
+    through an escalation-checked entry point (or widen explicitly and
+    suppress with a justification).
+    """
+
+    rule_id = "RPL702"
+    rule_name = "f32-contract-escape"
+    rule_ids = ("RPL702",)
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        config = project.config
+        for site in project.graph.sites:
+            if config.is_f32_contract(site.path):
+                continue  # consumer inside the contract: fine
+            widths = project.return_dtypes.get(site.callee, frozenset())
+            if "float32" not in widths:
+                continue
+            fn = project.table.functions[site.callee]
+            if not config.is_f32_contract(fn.path) and not config.is_f32_sanctioned(
+                fn.path
+            ):
+                continue  # both ends outside the kernels: not our contract
+            mixed = " (mixed f32/f64)" if "float64" in widths else ""
+            yield Finding(
+                path=site.path,
+                line=site.node.lineno,
+                col=site.node.col_offset,
+                rule_id="RPL702",
+                rule_name="f32-contract-escape",
+                message=(
+                    f"call to {fn.node.name}() (defined at {fn.path}:"
+                    f"{fn.lineno}) returns float32{mixed} outside the "
+                    "escalation contract — route through an "
+                    "escalation-checked entry point or widen to float64 "
+                    "at the boundary (DESIGN §12)"
+                ),
+            )

@@ -1,0 +1,309 @@
+"""Module-level symbol table over a set of linted files.
+
+The project passes (call graph, interprocedural dataflow) need to answer
+one question cheaply and reliably: *given a dotted name as written in some
+module, which function definition does it denote?*  This module builds the
+index that answers it — per-module import maps, function/class catalogues
+and mutable-global inventories, keyed by dotted module names derived from
+the package layout on disk.
+
+Everything here is pure stdlib AST bookkeeping; no linted code is imported
+or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+#: Constructors whose module-level result is a mutable container (the
+#: RPL301/RPL801 hazard class).
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "defaultdict",
+        "collections.deque",
+        "deque",
+        "collections.Counter",
+        "Counter",
+        "collections.OrderedDict",
+        "OrderedDict",
+    }
+)
+
+
+def _attr_chain(node: ast.expr) -> "str | None":
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def is_mutable_binding(node: ast.expr) -> bool:
+    """Is this value expression a mutable-container display or constructor?"""
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        return _attr_chain(node.func) in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function (or method) definition somewhere in the project."""
+
+    qualname: str  # "repro.pipeline.mp_backend._map_chunk"
+    module: str  # "repro.pipeline.mp_backend"
+    local_name: str  # "_map_chunk" or "Engine.run" or "outer.<locals>.inner"
+    path: str  # POSIX path of the defining file
+    lineno: int
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    nested: bool  # defined inside another function (unpicklable by reference)
+    params: tuple[str, ...]  # positional-or-keyword parameter names, in order
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project passes know about one parsed module."""
+
+    name: str  # dotted module name
+    path: str
+    tree: ast.Module
+    source: str
+    #: local name -> fully qualified imported target ("np" -> "numpy",
+    #: "sanitize" -> "repro.phmm.sanitize", "current" ->
+    #: "repro.observability.current").
+    imports: dict[str, str] = field(default_factory=dict)
+    #: local dotted name ("func", "Cls.method") -> FunctionInfo
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: set[str] = field(default_factory=set)
+    #: module-level mutable container bindings: name -> definition line
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+
+
+def module_name_for(path: "Path | str", file_set: "set[str] | None" = None) -> str:
+    """Dotted module name for a file, by walking up while packages continue.
+
+    A directory is part of the package path when it contains ``__init__.py``
+    — either on disk or in the set of files being linted (``file_set``,
+    POSIX paths), so synthetic project fixtures work without touching the
+    filesystem.
+    """
+    p = Path(path)
+    file_set = file_set or set()
+
+    def has_init(d: Path) -> bool:
+        init = d / "__init__.py"
+        return init.as_posix() in file_set or init.is_file()
+
+    parts = [p.stem] if p.stem != "__init__" else []
+    d = p.parent
+    while d.name and has_init(d):
+        parts.insert(0, d.name)
+        d = d.parent
+    return ".".join(parts) if parts else p.stem
+
+
+def _collect_imports(
+    tree: ast.Module, module: str, is_package: bool = False
+) -> dict[str, str]:
+    """Local name -> fully qualified target, including relative imports."""
+    out: dict[str, str] = {}
+    pkg_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                out[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Relative import: level 1 means this module's package,
+                # each further level climbs one package up.  A package
+                # __init__ is recorded under its package name, so its own
+                # package *is* the module name; a plain module's package is
+                # its parent.
+                pkg = list(pkg_parts) if is_package else pkg_parts[:-1]
+                if node.level > 1:
+                    if node.level - 1 > len(pkg):
+                        continue  # escapes the linted tree; unresolvable
+                    pkg = pkg[: len(pkg) - (node.level - 1)]
+                prefix = ".".join(pkg)
+                base = f"{prefix}.{node.module}" if node.module else prefix
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                out[local] = f"{base}.{alias.name}" if base else alias.name
+    return out
+
+
+class _DefCollector(ast.NodeVisitor):
+    """Collect function definitions with their class/function nesting."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self.stack: list[tuple[str, str]] = []  # (kind, name)
+
+    def _local_name(self, name: str) -> str:
+        parts = []
+        for kind, outer in self.stack:
+            parts.append(outer)
+            if kind == "function":
+                parts.append("<locals>")
+        parts.append(name)
+        return ".".join(parts)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self.stack:
+            self.info.classes.add(node.name)
+        self.stack.append(("class", node.name))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def _visit_func(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        local = self._local_name(node.name)
+        nested = any(kind == "function" for kind, _ in self.stack)
+        params = tuple(
+            a.arg
+            for a in node.args.posonlyargs + node.args.args
+            if a.arg not in ("self", "cls")
+        )
+        self.info.functions[local] = FunctionInfo(
+            qualname=f"{self.info.name}.{local}",
+            module=self.info.name,
+            local_name=local,
+            path=self.info.path,
+            lineno=node.lineno,
+            node=node,
+            nested=nested,
+            params=params,
+        )
+        self.stack.append(("function", node.name))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+def _collect_mutable_globals(tree: ast.Module) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: "ast.expr | None" = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not is_mutable_binding(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = stmt.lineno
+    return out
+
+
+def build_module_info(path: str, source: str, tree: ast.Module, name: str) -> ModuleInfo:
+    info = ModuleInfo(name=name, path=path, tree=tree, source=source)
+    is_package = Path(path).name == "__init__.py"
+    info.imports = _collect_imports(tree, name, is_package)
+    info.mutable_globals = _collect_mutable_globals(tree)
+    _DefCollector(info).visit(tree)
+    return info
+
+
+class SymbolTable:
+    """Project-wide index: modules by dotted name, functions by qualname."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.functions: dict[str, FunctionInfo] = {}
+        for mod in self.modules.values():
+            for fn in mod.functions.values():
+                self.functions[fn.qualname] = fn
+
+    # -- name resolution ------------------------------------------------------
+    def _canonical(self, full: str, depth: int = 0) -> "str | None":
+        """Fold re-exports: ``pkg.name`` where pkg's __init__ imports name."""
+        if depth > 8 or not full:
+            return None
+        if full in self.functions:
+            return full
+        head, _, tail = full.rpartition(".")
+        if not head:
+            return None
+        mod = self.modules.get(head)
+        if mod is not None:
+            if tail in mod.functions:
+                return mod.functions[tail].qualname
+            if tail in mod.imports:
+                return self._canonical(mod.imports[tail], depth + 1)
+        # `a.b.c.f` where `a.b` is a module importing `c`: resolve the
+        # longest known module prefix and push the remainder through its
+        # import map one segment at a time.
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            mod = self.modules.get(prefix)
+            if mod is None:
+                continue
+            nxt = parts[cut]
+            rest = ".".join(parts[cut + 1 :])
+            if nxt in mod.imports:
+                target = mod.imports[nxt] + (f".{rest}" if rest else "")
+                return self._canonical(target, depth + 1)
+            break
+        return None
+
+    def resolve_function(self, module: str, dotted: str) -> "FunctionInfo | None":
+        """Resolve a dotted name as written inside ``module`` to a function.
+
+        Handles local defs (``helper``), methods named through their class
+        (``Engine.run``), imported names (``from m import f`` / ``import m``
+        then ``m.f``) and package re-exports (``from pkg import f`` where
+        ``pkg/__init__.py`` itself imports ``f`` from a submodule).
+        Returns None for anything it cannot pin to a single definition.
+        """
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if dotted in mod.functions:
+            return mod.functions[dotted]
+        head, _, rest = dotted.partition(".")
+        full: "str | None" = None
+        if head in mod.imports:
+            base = mod.imports[head]
+            full = f"{base}.{rest}" if rest else base
+        elif head in mod.classes and rest:
+            full = f"{module}.{dotted}"
+        if full is None:
+            return None
+        qual = self._canonical(full)
+        return self.functions.get(qual) if qual else None
+
+
+def build_symbol_table(
+    files: "list[tuple[str, str, ast.Module]]",
+) -> SymbolTable:
+    """Build the project symbol table from (path, source, tree) triples."""
+    file_set = {Path(p).as_posix() for p, _, _ in files}
+    modules = []
+    for path, source, tree in files:
+        name = module_name_for(path, file_set)
+        modules.append(build_module_info(Path(path).as_posix(), source, tree, name))
+    return SymbolTable(modules)
