@@ -7,6 +7,14 @@ serial and two-worker pipelines at a fixed seed — persisted as
 ``BENCH_pipeline.json`` for CI to publish and for ``repro metrics diff``
 to gate against.
 
+The two-worker lane runs over the Engine's **persistent shared-memory
+pool**: a cold call spins the fleet up and publishes the segments, then
+the measured call streams chunks over the warm fleet — the number CI
+gates (speedup >= 1.7x at workers=2) is the steady-state one users see
+from the second call on.  The gate only applies on multi-core machines
+(``cpu_count`` is recorded in the payload); on one core the lane still
+runs and pins output identity, but real speedup is unmeasurable.
+
 The tracing cost contract rides along: the flight recorder's hooks are
 permanently compiled into the hot paths, so the disabled path must stay
 under 2% of pipeline wall time (DESIGN.md §11).  The bench measures the
@@ -18,15 +26,16 @@ in the microbenchmark unit test.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from conftest import OUTPUT_DIR, record
 
 import repro.observability.trace as trace
+from repro.api import Engine
 from repro.observability import scope
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
-from repro.pipeline.mp_backend import run_multiprocessing
 
 
 def _dp_cells(counters) -> int:
@@ -51,29 +60,34 @@ def test_pipeline_serial_vs_workers(scaling_workload):
     wl = scaling_workload
     config = PipelineConfig()
 
-    def run(n_workers: int):
+    def run(engine=None):
         with scope() as reg:
             t0 = time.perf_counter()
-            if n_workers == 1:
+            if engine is None:
                 result = GnumapSnp(wl.reference, config).run(wl.reads)
             else:
-                result = run_multiprocessing(
-                    wl.reference, wl.reads, config, n_workers=n_workers
-                )
+                result = engine.run(wl.reads)
             wall = time.perf_counter() - t0
             snap = reg.snapshot()
         calls = [(s.pos, s.ref_name, s.alt_name) for s in result.snps]
         return calls, wall, snap
 
-    serial_calls, serial_wall, serial_snap = run(1)
-    mp_calls, mp_wall, mp_snap = run(2)
+    serial_calls, serial_wall, serial_snap = run()
+    with Engine(wl.reference, config, workers=2) as engine:
+        # Cold call: fleet spawn + segment publish + first chunk round.
+        cold_calls, cold_wall, _ = run(engine)
+        # Steady state: the warm fleet users see from the second call on.
+        mp_calls, mp_wall, mp_snap = run(engine)
+        assert engine._pool is not None and engine._pool.runs == 2
+        shm_bytes = engine._pool.shm_bytes
+    assert cold_calls == serial_calls, "workers=2 (cold) changed the SNP output"
     assert mp_calls == serial_calls, "workers=2 changed the SNP output"
 
     # Traced serial run: how many events does a real pipeline emit, and
     # what does recording them cost?
     trace.enable()
     try:
-        traced_calls, traced_wall, traced_snap = run(1)
+        traced_calls, traced_wall, traced_snap = run()
     finally:
         trace.disable()
     assert traced_calls == serial_calls, "tracing changed the SNP output"
@@ -95,12 +109,17 @@ def test_pipeline_serial_vs_workers(scaling_workload):
         "serial pipeline wall — over the 2% budget"
     )
 
+    speedup = serial_wall / mp_wall
+    cpu_count = os.cpu_count() or 1
     payload = {
         "workload": {"reads": wl.n_reads, "genome_bp": len(wl.reference)},
+        "cpu_count": cpu_count,
         "serial": _lane(serial_calls, serial_wall, serial_snap.counters, wl.n_reads),
         "workers2": {
             **_lane(mp_calls, mp_wall, mp_snap.counters, wl.n_reads),
-            "speedup": serial_wall / mp_wall,
+            "speedup": speedup,
+            "cold_wall_seconds": cold_wall,
+            "pool_shm_bytes": shm_bytes,
         },
         "tracing": {
             "events_recorded": n_events,
@@ -116,9 +135,17 @@ def test_pipeline_serial_vs_workers(scaling_workload):
         "Pipeline throughput",
         f"serial: {wl.n_reads / serial_wall:,.0f} reads/s "
         f"({_dp_cells(serial_snap.counters) / serial_wall:,.0f} DP cells/s) | "
-        f"workers=2: {wl.n_reads / mp_wall:,.0f} reads/s "
-        f"(speedup {serial_wall / mp_wall:.2f}x) | "
+        f"workers=2 warm pool: {wl.n_reads / mp_wall:,.0f} reads/s "
+        f"(speedup {speedup:.2f}x, cold {cold_wall:.2f}s, "
+        f"{cpu_count} cpu) | "
         f"tracing: {n_events:,} events, enabled +{enabled_overhead_pct:.1f}%, "
         f"disabled hooks {disabled_overhead_pct:.3f}% (<2% budget) | "
         f"calls identical: {mp_calls == serial_calls}",
     )
+    if cpu_count >= 2:
+        # The acceptance gate, enforced where parallel hardware exists:
+        # warm-pool two-worker mapping must beat serial by 1.7x.
+        assert speedup >= 1.7, (
+            f"warm-pool workers=2 speedup {speedup:.2f}x is under the "
+            f"1.7x bar on a {cpu_count}-core machine"
+        )

@@ -11,12 +11,8 @@ evidence distribution side by side.
     python examples/paired_end_repeats.py
 """
 
-from repro import PipelineConfig
+from repro import Engine, PipelineConfig
 from repro.genome.variants import Variant, VariantCatalog, apply_variants
-
-# Deliberately the deprecated constructor (new code: repro.api.Engine) —
-# this example doubles as a living check that the 1.x shim keeps working.
-from repro import GnumapSnp
 from repro.pipeline.paired import PairedConfig, PairedGnumap
 from repro.simulate.genome_sim import GenomeSpec, simulate_genome
 from repro.simulate.paired import PairedReadSimSpec, PairedReadSimulator
@@ -48,7 +44,8 @@ def main() -> None:
     ).simulate()
     single_reads = [r for p in pairs for r in (p.read1, p.read2)]
 
-    single = GnumapSnp(ref, PipelineConfig()).run(single_reads)
+    with Engine(ref, PipelineConfig()) as engine:
+        single = engine.run(single_reads)
     paired = PairedGnumap(
         ref, PipelineConfig(), PairedConfig(insert_mean=450.0, insert_sd=25.0)
     ).run(pairs)

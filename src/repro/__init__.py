@@ -15,11 +15,15 @@ Quickstart — :class:`repro.api.Engine` is the public entry point::
     for snp in result.snps:
         print(snp.pos, snp.ref_name, "->", snp.alt_name)
 
+Parallel execution holds a persistent shared-memory worker pool for the
+engine's lifetime; scope it with the context manager::
+
+    with Engine(wl.reference, workers=4) as engine:
+        result = engine.run(wl.reads)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 table/figure reproductions.
 """
-
-import warnings
 
 from repro.api import CallResult, Engine
 from repro.experiments.workload import Workload, build_workload
@@ -27,44 +31,15 @@ from repro.genome.fastq import Read
 from repro.genome.reference import Reference
 from repro.genome.variants import Variant, VariantCatalog
 from repro.phmm.model import PHMMParams
-from repro.pipeline.config import PipelineConfig
-from repro.pipeline.gnumap import GnumapSnp as _GnumapSnpImpl
+from repro.pipeline.config import ParallelConfig, PipelineConfig
 from repro.pipeline.gnumap import MappingStats, PipelineResult
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
-
-class GnumapSnp(_GnumapSnpImpl):
-    """Deprecated alias of the serial pipeline driver.
-
-    Kept so existing callers keep working; new code should use
-    :class:`repro.api.Engine`, which exposes the same ``map_reads`` /
-    ``call_snps`` / ``run`` workflow behind one stable facade (and adds
-    multiprocessing dispatch).  This shim will be removed in 2.0.
-    """
-
-    def __init__(self, *args: object, **kwargs: object) -> None:
-        warnings.warn(
-            "repro.GnumapSnp is deprecated; use repro.api.Engine instead "
-            "(Engine(reference, config).run(reads) / .map_reads() / .call())",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
-
-
-def run_multiprocessing(*args: object, **kwargs: object) -> PipelineResult:
-    """Deprecated top-level alias; use ``Engine.run(reads, workers=n)``."""
-    warnings.warn(
-        "repro.run_multiprocessing is deprecated; use "
-        "repro.api.Engine(reference, config).run(reads, workers=n) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.pipeline.mp_backend import run_multiprocessing as _impl
-
-    return _impl(*args, **kwargs)  # type: ignore[arg-type]
-
+# 2.0 removed the 1.x deprecation shims `repro.GnumapSnp` and
+# `repro.run_multiprocessing`; use `repro.api.Engine` (serial and parallel
+# behind one facade) — `repro.pipeline.gnumap.GnumapSnp` remains importable
+# for internal/advanced use.
 
 __all__ = [
     "Workload",
@@ -74,12 +49,11 @@ __all__ = [
     "Variant",
     "VariantCatalog",
     "PHMMParams",
+    "ParallelConfig",
     "PipelineConfig",
     "Engine",
     "CallResult",
     "MappingStats",
-    "GnumapSnp",
     "PipelineResult",
-    "run_multiprocessing",
     "__version__",
 ]

@@ -9,10 +9,18 @@ three verbs, and picks the serial or multiprocessing backend per call.
 
     from repro.api import Engine
 
-    engine = Engine(reference)               # or Engine.from_fasta("ref.fa")
-    result = engine.run(reads, workers=4)    # map + call, one CallResult
-    for snp in result.snps:
-        print(snp.pos, snp.ref_name, "->", snp.alt_name)
+    with Engine(reference, workers=4) as engine:   # or Engine.from_fasta(...)
+        result = engine.run(reads)                 # map + call, one CallResult
+        for snp in result.snps:
+            print(snp.pos, snp.ref_name, "->", snp.alt_name)
+
+With ``workers > 1`` the engine owns a **persistent shared-memory worker
+pool** (:class:`repro.parallel.pool.PersistentPool`): workers spawn once,
+the genome and index are published as shared-memory segments the workers
+map zero-copy, and every ``run``/``map_reads`` call reuses the warm fleet.
+The context manager (or an explicit ``close()``) releases the workers and
+unlinks the segments; an engine used without ``with`` still cleans up
+through an atexit crash net, but deterministic teardown is the idiom.
 
 Staged use — accumulate evidence over several read batches (online / sharded
 ingest), then call once::
@@ -21,13 +29,17 @@ ingest), then call once::
     engine.map_reads(batch_b)        # same accumulator keeps filling
     result = engine.call()
 
-The old constructors still work but raise :class:`DeprecationWarning`; see
-``repro.__init__`` for the shims.
+Worker count is engine state (constructor ``workers=`` or
+``config.parallel.workers``); the historical per-call
+``map_reads(reads, workers=N)`` kwarg still works for one release behind a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.calling.records import SNPCall, write_snp_calls
 from repro.errors import PipelineError
@@ -37,6 +49,13 @@ from repro.memory.base import Accumulator
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult
 from repro.util.timers import TimerRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.pool import PersistentPool
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so the
+#: deprecated per-call ``workers=`` only warns when actually used.
+_UNSET: Any = object()
 
 __all__ = ["CallResult", "Engine", "MappingStats"]
 
@@ -93,18 +112,42 @@ class Engine:
     reuse it.  The engine owns an evidence accumulator so mapping can be
     staged across calls; ``run`` is stateless (fresh accumulator per call)
     and is the right verb for one-shot batch work.
+
+    With ``workers > 1`` (constructor kwarg, the ``workers`` property, or
+    ``config.parallel.workers``) the engine also owns a persistent
+    shared-memory worker pool, created lazily on the first parallel call
+    and reused until ``close()``/``__exit__`` — or until the worker count
+    or process-wide sanitizer/tracing flags change, which recycles the
+    fleet so workers never run with stale one-time init state.
     """
 
-    def __init__(self, reference: Reference, config: PipelineConfig | None = None):
+    def __init__(
+        self,
+        reference: Reference,
+        config: PipelineConfig | None = None,
+        *,
+        workers: "int | None" = None,
+    ):
         self.config = config or PipelineConfig()
+        if workers is None:
+            workers = self.config.parallel.workers
+        if workers < 1:
+            raise PipelineError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
         self._pipeline = GnumapSnp(reference, self.config)
         self._accumulator: Accumulator | None = None
         self._stats = MappingStats()
         self._timers = TimerRegistry()
+        self._pool: "PersistentPool | None" = None
+        self._pool_flags: "tuple | None" = None
 
     @classmethod
     def from_fasta(
-        cls, path: str, config: PipelineConfig | None = None
+        cls,
+        path: str,
+        config: PipelineConfig | None = None,
+        *,
+        workers: "int | None" = None,
     ) -> "Engine":
         """Build an engine from a single-record reference FASTA file."""
         from repro.genome.fasta import read_fasta
@@ -115,7 +158,7 @@ class Engine:
                 f"expected a single-record reference FASTA, got {len(records)}"
             )
         name, codes = next(iter(records.items()))
-        return cls(Reference(codes, name=name), config)
+        return cls(Reference(codes, name=name), config, workers=workers)
 
     @property
     def reference(self) -> Reference:
@@ -126,28 +169,103 @@ class Engine:
         """The underlying serial pipeline (index, seeder, caller)."""
         return self._pipeline
 
+    # -- resource lifecycle -----------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Worker-process count used by ``map_reads``/``run`` (engine state)."""
+        return self._workers
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        if value < 1:
+            raise PipelineError(f"workers must be >= 1, got {value}")
+        if value != self._workers:
+            # The fleet is sized at spawn; a resize needs a fresh pool.
+            self._teardown_pool()
+        self._workers = value
+
+    def close(self) -> None:
+        """Release the worker pool and its shared-memory segments.
+
+        Idempotent, and the engine stays usable afterwards — the next
+        parallel call simply builds a fresh pool.  Serial state
+        (accumulator, index) is untouched; use :meth:`reset` for that.
+        """
+        self._teardown_pool()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_flags = None
+
+    def _resolve_workers(self, workers: Any) -> int:
+        """Engine worker count, honouring the deprecated per-call kwarg."""
+        if workers is _UNSET or workers is None:
+            return self._workers
+        warnings.warn(
+            "the per-call workers= kwarg is deprecated; set workers on the "
+            "Engine (constructor kwarg, .workers property, or "
+            "config.parallel.workers) so calls share the persistent pool",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if workers < 1:
+            raise PipelineError(f"workers must be >= 1, got {workers}")
+        return int(workers)
+
+    def _pool_for(self, n_workers: int) -> "PersistentPool | None":
+        """The warm pool for ``n_workers``, (re)building it as needed.
+
+        Returns ``None`` when pooling doesn't apply (serial, or
+        ``config.parallel.persistent`` off — the per-run dispatcher path).
+        Sanitizer/tracing enable-state is captured by workers at spawn, so
+        a flag flip since the pool was built recycles the fleet.
+        """
+        if n_workers <= 1 or not self.config.parallel.persistent:
+            return None
+        import repro.observability.trace as trace_mod
+        from repro.phmm import sanitize
+        from repro.pipeline.mp_backend import make_pool
+
+        flags = (sanitize.enabled(), trace_mod.enabled(), n_workers)
+        if self._pool is not None and (self._pool.closed or self._pool_flags != flags):
+            self._teardown_pool()
+        if self._pool is None:
+            self._pool = make_pool(self._pipeline, n_workers)
+            self._pool_flags = flags
+        return self._pool
+
     # -- staged verbs -----------------------------------------------------------
-    def map_reads(self, reads: "list[Read]", workers: int = 1) -> MappingStats:
+    def map_reads(self, reads: "list[Read]", workers: Any = _UNSET) -> MappingStats:
         """Align ``reads`` and fold their evidence into the engine's
         accumulator; returns the cumulative mapping stats.
 
         Call repeatedly to accumulate evidence online; ``call()`` consumes
-        whatever has been accumulated so far.  ``workers > 1`` maps the
-        batch across that many processes through the fault-tolerant
-        dispatcher (crashes/hangs/corrupted partials are retried, then
-        degraded to a serial re-run — see
+        whatever has been accumulated so far.  With engine ``workers > 1``
+        the batch maps across the persistent pool's warm fleet through the
+        fault-tolerant dispatcher (crashes/hangs/corrupted partials are
+        retried, then degraded to a serial re-run — see
         :mod:`repro.pipeline.mp_backend`); the merged partial folds into
         the staged accumulator exactly as the serial path would.
+
+        The per-call ``workers=`` kwarg is deprecated (worker count is
+        engine state); passing it still works but warns.
         """
-        if workers < 1:
-            raise PipelineError(f"workers must be >= 1, got {workers}")
+        n_workers = self._resolve_workers(workers)
         if self._accumulator is None:
             self._accumulator = self._pipeline.new_accumulator()
-        if workers > 1:
+        if n_workers > 1:
             from repro.pipeline.mp_backend import map_reads_multiprocessing
 
             part_acc, stats = map_reads_multiprocessing(
-                self._pipeline, reads, workers
+                self._pipeline, reads, n_workers, pool=self._pool_for(n_workers)
             )
             self._accumulator.merge(part_acc)
         else:
@@ -179,30 +297,37 @@ class Engine:
     def run(
         self,
         reads: "list[Read]",
-        workers: int = 1,
+        workers: Any = _UNSET,
         trace: "str | None" = None,
     ) -> CallResult:
         """Full pipeline over ``reads`` with a fresh accumulator.
 
-        ``workers > 1`` maps across that many real processes (identical
-        output to serial; the reduction is order-deterministic).  Does not
-        touch the engine's staged accumulator.
+        With engine ``workers > 1`` the mapping runs over the persistent
+        pool's warm fleet (identical output to serial; the reduction is
+        order-deterministic).  Does not touch the engine's staged
+        accumulator.  The per-call ``workers=`` kwarg is deprecated.
 
         ``trace`` enables flight-recorder tracing for this call and writes
         the resulting timeline to that path as Chrome trace-event JSON
         (openable in ``chrome://tracing`` or https://ui.perfetto.dev), with
         a run manifest embedded under ``otherData``.
         """
-        if workers < 1:
-            raise PipelineError(f"workers must be >= 1, got {workers}")
+        n_workers = self._resolve_workers(workers)
 
         def execute() -> PipelineResult:
-            if workers == 1:
+            if n_workers == 1:
                 return self._pipeline.run(reads)
             from repro.pipeline.mp_backend import run_multiprocessing
 
+            # _pool_for is called here — inside any tracing scope — so a
+            # freshly-built pool's workers see the final enable-state.
             return run_multiprocessing(
-                self.reference, reads, self.config, n_workers=workers
+                self.reference,
+                reads,
+                self.config,
+                n_workers=n_workers,
+                pool=self._pool_for(n_workers),
+                pipeline=self._pipeline,
             )
 
         if trace is None:
@@ -225,7 +350,7 @@ class Engine:
             trace,
             snapshot,
             manifest=run_manifest(
-                config=self.config, workers=workers, command="Engine.run"
+                config=self.config, workers=n_workers, command="Engine.run"
             ),
         )
         return CallResult.from_pipeline_result(result)

@@ -58,7 +58,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
     from repro.api import Engine
     from repro.calling.caller import CallerConfig
     from repro.genome.fastq import read_fastq
-    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.config import ParallelConfig, PipelineConfig
 
     config = PipelineConfig(
         k=args.k,
@@ -69,16 +69,21 @@ def _cmd_call(args: argparse.Namespace) -> int:
         phmm_kernel=args.phmm_kernel,
         phmm_dtype=args.phmm_dtype,
         alignment_mode=args.alignment_mode,
-        mp_chunk_timeout=args.chunk_timeout,
-        mp_max_retries=args.max_retries,
-        mp_fault_spec=args.fault_spec,
+        parallel=ParallelConfig(
+            workers=args.workers,
+            chunk_timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
+            fault_spec=args.fault_spec,
+            persistent=args.parallel_pool == "persistent",
+            shared_memory=args.parallel_shared_memory,
+        ),
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
     )
     args._config = config
-    engine = Engine.from_fasta(args.reference, config)
     reads = read_fastq(args.reads)
-    result = engine.run(reads, workers=args.workers)
+    with Engine.from_fasta(args.reference, config) as engine:
+        result = engine.run(reads)
     n = result.write_tsv(args.output)
     print(
         f"mapped {result.stats.n_mapped}/{result.stats.n_reads} reads; "
@@ -268,25 +273,61 @@ def _add_kernel_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_fault_tolerance_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    """The ``--parallel-*`` family (old flat spellings kept as aliases)."""
+    g = p.add_argument_group(
+        "parallel execution",
+        "worker fleet, persistent pool and per-chunk fault tolerance",
+    )
+    g.add_argument(
+        "--parallel-workers",
+        "--workers",
+        dest="workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="map reads across this many worker processes (default: 1)",
+    )
+    g.add_argument(
+        "--parallel-pool",
+        dest="parallel_pool",
+        default="persistent",
+        choices=["persistent", "per-call"],
+        help="worker provisioning: 'persistent' (default) keeps one warm "
+        "fleet with the genome/index in shared memory for the whole run; "
+        "'per-call' spawns a fresh dispatcher per mapping call",
+    )
+    g.add_argument(
+        "--parallel-no-shared-memory",
+        dest="parallel_shared_memory",
+        action="store_false",
+        help="ship the genome to workers by pickle and rebuild the index "
+        "per process instead of attaching shared-memory segments",
+    )
+    g.add_argument(
+        "--parallel-chunk-timeout",
         "--chunk-timeout",
+        dest="chunk_timeout",
         type=float,
         default=120.0,
         metavar="SECS",
         help="kill and retry a worker that holds one read chunk longer than "
         "this many seconds (default: 120)",
     )
-    p.add_argument(
+    g.add_argument(
+        "--parallel-max-retries",
         "--max-retries",
+        dest="max_retries",
         type=int,
         default=2,
         metavar="N",
         help="re-dispatch a failed chunk (crash/timeout/corrupt partial) up "
         "to N times before re-running it serially in the parent (default: 2)",
     )
-    p.add_argument(
+    g.add_argument(
+        "--parallel-fault-spec",
         "--fault-spec",
+        dest="fault_spec",
         default="",
         metavar="SPEC",
         help="inject deterministic worker faults for testing, e.g. "
@@ -338,9 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--vcf", default=None, help="also write VCF here")
     p_call.add_argument("--report", default=None,
                         help="also write a markdown run report here")
-    p_call.add_argument("--workers", type=int, default=1,
-                        help="map reads across this many processes")
-    _add_fault_tolerance_args(p_call)
+    _add_parallel_args(p_call)
     p_call.add_argument("-v", "--verbose", action="store_true")
     _add_band_args(p_call)
     _add_kernel_args(p_call)

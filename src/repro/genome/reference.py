@@ -43,10 +43,19 @@ class Reference:
         ``uint8`` code array (A=0..N=4); copied and marked read-only.
     name:
         Record name, defaults to ``"ref"``.
+    copy:
+        Copy ``codes`` (default).  ``copy=False`` wraps the caller's buffer
+        directly — used by pool workers to view a shared-memory segment
+        zero-copy; the caller guarantees the buffer outlives the Reference
+        and is never written.
     """
 
-    def __init__(self, codes: np.ndarray, name: str = "ref") -> None:
-        codes = np.asarray(codes, dtype=np.uint8).copy()
+    def __init__(
+        self, codes: np.ndarray, name: str = "ref", *, copy: bool = True
+    ) -> None:
+        codes = np.asarray(codes, dtype=np.uint8)
+        if copy:
+            codes = codes.copy()
         if codes.ndim != 1:
             raise SequenceError("reference must be a 1-D code array")
         if codes.size == 0:

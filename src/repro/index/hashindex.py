@@ -69,6 +69,51 @@ class GenomeIndex:
         reg.gauge_max("index.masked_kmers", self.n_masked_kmers)
         reg.gauge_max("index.bytes", self.nbytes())
 
+    @classmethod
+    def from_arrays(
+        cls,
+        reference: Reference,
+        k: int,
+        unique_kmers: np.ndarray,
+        offsets: np.ndarray,
+        positions: np.ndarray,
+        max_positions_per_kmer: int | None = 64,
+        n_masked_kmers: int = 0,
+    ) -> "GenomeIndex":
+        """Rehydrate an index from pre-built CSR arrays without rebuilding.
+
+        The zero-copy attach path for pool workers: the parent publishes
+        :meth:`csr_arrays` through shared memory and each worker wraps the
+        same pages here instead of re-sorting the genome's k-mers.  No
+        build happens, so no ``index.builds``/shape metrics are emitted —
+        the parent's build already recorded them.  The arrays are trusted
+        views; only shape consistency is checked.
+        """
+        if not 1 <= k <= MAX_K:
+            raise IndexError_(f"k must be in [1, {MAX_K}], got {k}")
+        if offsets.ndim != 1 or offsets.size != unique_kmers.size + 1:
+            raise IndexError_(
+                f"offsets must have {unique_kmers.size + 1} entries "
+                f"(one per unique k-mer plus a terminator), got {offsets.size}"
+            )
+        index = cls.__new__(cls)
+        index.reference = reference
+        index.k = k
+        index.max_positions_per_kmer = max_positions_per_kmer
+        index.n_masked_kmers = n_masked_kmers
+        index._unique_kmers = unique_kmers
+        index._offsets = offsets
+        index._positions = positions
+        return index
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw CSR triple ``(unique_kmers, offsets, positions)``.
+
+        Publication accessor for the shared-memory broadcast; pair with
+        :meth:`from_arrays` on the attaching side.
+        """
+        return self._unique_kmers, self._offsets, self._positions
+
     def _build(self) -> None:
         reference, k = self.reference, self.k
         max_positions_per_kmer = self.max_positions_per_kmer

@@ -144,6 +144,14 @@ class ChunkDispatcher:
     module-level (picklable) callables; ``initargs`` is shipped to every
     worker once.  Counters are written to the *current* observability
     registry under ``{counter_prefix}.``.
+
+    With ``persistent=True`` the worker fleet outlives :meth:`run`: the
+    first call (or an explicit :meth:`start`) spawns ``n_workers``
+    processes, later calls reuse the already-initialised, idle fleet
+    (``mp.pool_reuse`` counts each reuse) and only dead or retired slots
+    are respawned.  The caller owns the lifetime and must call
+    :meth:`close` when done.  The per-run recovery semantics — timeout,
+    retry, respawn, serial fallback — are identical in both modes.
     """
 
     def __init__(
@@ -159,6 +167,7 @@ class ChunkDispatcher:
         backoff_base: float = 0.05,
         validate: "Callable[[int, Any], None] | None" = None,
         counter_prefix: str = "mp",
+        persistent: bool = False,
     ) -> None:
         self._ctx = ctx
         self._n_workers = max(1, n_workers)
@@ -170,6 +179,10 @@ class ChunkDispatcher:
         self._backoff_base = backoff_base
         self._validate = validate
         self._prefix = counter_prefix
+        self._persistent = persistent
+        # Persistent-mode fleet state; unused (always empty) otherwise.
+        self._slots: "list[_Slot | None]" = []
+        self._started = False
 
     # -- worker lifecycle -----------------------------------------------------
     def _spawn(self) -> _Slot:
@@ -209,6 +222,38 @@ class ChunkDispatcher:
         slot.proc.join(timeout=2.0)
         ChunkDispatcher._kill(slot)
 
+    # -- persistent-fleet lifecycle -------------------------------------------
+    def start(self) -> None:
+        """Spawn (or top up) the persistent fleet; idempotent.
+
+        First call spawns ``n_workers`` slots; later calls only respawn
+        slots that were retired (``None``) since the last run — a
+        deterministic init failure will retire them again, which is the
+        desired loud-degradation behaviour, not a spin.
+        """
+        if not self._persistent:
+            raise RuntimeError("start() requires persistent=True")
+        if not self._slots:
+            self._slots = [self._spawn() for _ in range(self._n_workers)]
+            trace.instant("mp.pool_start", workers=self._n_workers)
+        else:
+            for idx, slot in enumerate(self._slots):
+                if slot is None:
+                    self._slots[idx] = self._spawn()
+        self._started = True
+
+    def close(self) -> None:
+        """Stop every persistent worker and drop the fleet (idempotent)."""
+        for slot in self._slots:
+            if slot is None:
+                continue
+            if slot.chunk is None:
+                self._stop(slot)
+            else:  # pragma: no cover - close with work in flight
+                self._kill(slot)
+        self._slots = []
+        self._started = False
+
     # -- the event loop -------------------------------------------------------
     def run(self, payloads: "list[Any]") -> DispatchOutcome:
         """Dispatch every payload; return results, fallbacks and events."""
@@ -217,12 +262,21 @@ class ChunkDispatcher:
         if n_chunks == 0:
             return outcome
         reg = current()
-        n_workers = min(self._n_workers, n_chunks)
+        if self._persistent:
+            if self._started:
+                # Warm fleet: the whole point of the pool.  Loudly counted
+                # so tests can pin zero-respawn reuse.
+                reg.inc(f"{self._prefix}.pool_reuse")
+                trace.instant("mp.pool_reuse", chunks=n_chunks)
+            self.start()
+            slots: "list[_Slot | None]" = self._slots
+            n_workers = len(slots)
+        else:
+            n_workers = min(self._n_workers, n_chunks)
+            slots = [self._spawn() for _ in range(n_workers)]
         # Respawn budget: enough for every possible failure to get a fresh
         # worker, finite so a deterministic init crash can't spin forever.
         respawns_left = n_workers + n_chunks * (self._max_retries + 1)
-
-        slots: "list[_Slot | None]" = [self._spawn() for _ in range(n_workers)]
         # (chunk_id, attempt, not-before time) — the retry/backoff queue.
         pending: "deque[tuple[int, int, float]]" = deque(
             (cid, 0, 0.0) for cid in range(n_chunks)
@@ -379,13 +433,23 @@ class ChunkDispatcher:
                         f"chunk {cid} exceeded {self._timeout}s deadline",
                     )
         finally:
-            for slot in slots:
-                if slot is None:
-                    continue
-                if slot.chunk is None:
-                    self._stop(slot)
-                else:  # pragma: no cover - abnormal exit with work in flight
-                    self._kill(slot)
+            if self._persistent:
+                # Keep idle workers warm for the next run; only a slot with
+                # work still in flight (abnormal exit) is killed — start()
+                # respawns it next time, re-attaching instead of re-shipping.
+                for idx, slot in enumerate(self._slots):
+                    if slot is not None and slot.chunk is not None:
+                        # pragma-free: exercised via KeyboardInterrupt tests
+                        self._kill(slot)
+                        self._slots[idx] = None
+            else:
+                for slot in slots:
+                    if slot is None:
+                        continue
+                    if slot.chunk is None:
+                        self._stop(slot)
+                    else:  # pragma: no cover - abnormal exit with work in flight
+                        self._kill(slot)
         return outcome
 
     def _wait_time(self, live: "list[_Slot]", now: float) -> float:

@@ -1,13 +1,22 @@
 """Pipeline configuration.
 
 One dataclass gathers every knob of the end-to-end run so experiments can be
-described declaratively.  Sub-configurations (seeder, caller) reuse their
-modules' own dataclasses.
+described declaratively.  Sub-configurations (seeder, caller, parallel
+execution) reuse their own dataclasses.
+
+Parallel-execution knobs live in :class:`ParallelConfig` under
+``PipelineConfig.parallel``.  The historical flat ``mp_*`` spellings
+(``mp_chunk_timeout=...`` kwargs and ``config.mp_chunk_timeout`` reads) are
+accepted for one release behind :class:`DeprecationWarning` shims; the
+migration table lives in DESIGN.md §14.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+import warnings
+from dataclasses import InitVar, dataclass, field
+from typing import Any
 
 from repro.calling.caller import CallerConfig
 from repro.errors import ConfigError
@@ -17,6 +26,122 @@ from repro.phmm.model import PHMMParams
 
 #: Start methods the multiprocessing backend may be pinned to.
 MP_START_METHODS = ("spawn", "fork", "forkserver")
+
+#: ParallelConfig fields reachable through the deprecated flat ``mp_<name>``
+#: spellings (both constructor kwargs and attribute reads).
+_PARALLEL_FIELD_NAMES = frozenset(
+    {
+        "start_method",
+        "chunk_timeout",
+        "max_retries",
+        "backoff_base",
+        "chunks_per_worker",
+        "fault_spec",
+    }
+)
+
+
+@dataclass
+class ParallelConfig:
+    """Parallel-execution knobs: fleet shape, fault tolerance, pool mode.
+
+    Attributes
+    ----------
+    workers:
+        Default worker-process count for ``Engine``/CLI runs; 1 means
+        serial execution (no pool, no fleet).
+    start_method:
+        Multiprocessing start method for the real process backend, pinned
+        explicitly (``"spawn"`` default) so span-stack and
+        sanitizer-propagation semantics never depend on what a prior
+        caller or the platform set.
+    chunk_timeout:
+        Per-chunk deadline in seconds for the fault-tolerant dispatcher; a
+        worker past it is killed and the chunk retried.  The deadline
+        clock only starts once the worker has reported ready, so one-time
+        worker init never eats into a chunk's budget.
+    max_retries:
+        Re-dispatches per chunk after the first attempt; an exhausted
+        chunk degrades to a serial re-run in the parent.
+    backoff_base:
+        Base of the exponential retry backoff: attempt ``a`` is requeued
+        after ``backoff_base * 2**a`` seconds.
+    chunks_per_worker:
+        Static chunk granularity: reads are split into
+        ``workers * chunks_per_worker`` chunks (capped by the read
+        count), so a single recovery costs one chunk, not one worker's
+        whole share.  The autotuner treats this as its starting split.
+    fault_spec:
+        Deterministic fault-injection spec for the recovery paths (see
+        :mod:`repro.parallel.faults` for the grammar).  Empty (default)
+        defers to the ``REPRO_FAULTS`` environment variable; both empty
+        means no injection.
+    persistent:
+        Keep the worker fleet alive across ``Engine`` calls
+        (:class:`repro.parallel.pool.PersistentPool`) instead of spawning
+        per run.  Spawn/init costs then amortise to zero over an Engine's
+        lifetime; ``Engine.close()`` (or the context manager) tears the
+        fleet down.
+    shared_memory:
+        Publish genome codes and index CSR arrays as
+        ``multiprocessing.shared_memory`` segments that workers map
+        zero-copy, instead of pickling the genome to every worker and
+        re-building the index per process.  Only meaningful with
+        ``persistent=True``.
+    autotune_chunks:
+        Let the pool plan chunk counts from the LogGP cost model plus the
+        live ``mp.chunk_map_seconds`` history instead of always using the
+        static ``chunks_per_worker`` split.  Chunking never affects call
+        results (per-read evidence is chunk-invariant), only latency.
+    """
+
+    workers: int = 1
+    start_method: str = "spawn"
+    chunk_timeout: float = 120.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    chunks_per_worker: int = 4
+    fault_spec: str = ""
+    persistent: bool = True
+    shared_memory: bool = True
+    autotune_chunks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.start_method not in MP_START_METHODS:
+            raise ConfigError(
+                f"start_method must be one of {list(MP_START_METHODS)}, "
+                f"got {self.start_method!r}"
+            )
+        if self.chunk_timeout <= 0:
+            raise ConfigError(
+                f"chunk_timeout must be > 0, got {self.chunk_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.chunks_per_worker < 1:
+            raise ConfigError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+        # Fail fast on a malformed fault spec — at config time, in the
+        # parent, not mid-run inside a worker.
+        parse_fault_spec(self.fault_spec)
+
+
+def _warn_deprecated_mp(old: str, new: str) -> None:
+    warnings.warn(
+        f"PipelineConfig.{old} is deprecated; use "
+        f"PipelineConfig.parallel.{new} (ParallelConfig) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -82,32 +207,11 @@ class PipelineConfig:
         float64 on underflow/overflow/inconsistency (counted under
         ``phmm.f32_escalations``).  Only valid with
         ``phmm_kernel="wavefront"``.
-    mp_start_method:
-        Multiprocessing start method for the real process backend, pinned
-        explicitly (``"spawn"`` default) so span-stack and
-        sanitizer-propagation semantics never depend on what a prior
-        caller or the platform set.
-    mp_chunk_timeout:
-        Per-chunk deadline in seconds for the fault-tolerant dispatcher; a
-        worker past it is killed and the chunk retried.  The deadline
-        clock only starts once the worker has reported ready, so one-time
-        worker init (index rebuild) never eats into a chunk's budget.
-    mp_max_retries:
-        Re-dispatches per chunk after the first attempt; an exhausted
-        chunk degrades to a serial re-run in the parent.
-    mp_backoff_base:
-        Base of the exponential retry backoff: attempt ``a`` is requeued
-        after ``mp_backoff_base * 2**a`` seconds.
-    mp_chunks_per_worker:
-        Chunk granularity: reads are split into
-        ``n_workers * mp_chunks_per_worker`` chunks (capped by the read
-        count), so a single recovery costs one chunk, not one worker's
-        whole share.
-    mp_fault_spec:
-        Deterministic fault-injection spec for the recovery paths (see
-        :mod:`repro.parallel.faults` for the grammar).  Empty (default)
-        defers to the ``REPRO_FAULTS`` environment variable; both empty
-        means no injection.
+    parallel:
+        Parallel-execution sub-config (:class:`ParallelConfig`): fleet
+        shape, per-chunk fault tolerance, persistent-pool and
+        shared-memory modes.  The flat ``mp_*`` kwargs/attributes are
+        deprecated shims over these fields.
     """
 
     k: int = 10
@@ -124,18 +228,43 @@ class PipelineConfig:
     band_tolerance: float = 1e-4
     phmm_kernel: str = "rowsweep"
     phmm_dtype: str = "float64"
-    mp_start_method: str = "spawn"
-    mp_chunk_timeout: float = 120.0
-    mp_max_retries: int = 2
-    mp_backoff_base: float = 0.05
-    mp_chunks_per_worker: int = 4
-    mp_fault_spec: str = ""
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
     max_index_positions_per_kmer: int | None = 64
     phmm: PHMMParams = field(default_factory=PHMMParams)
     seeder: SeederConfig = field(default_factory=SeederConfig)
     caller: CallerConfig = field(default_factory=CallerConfig)
+    # Deprecated flat spellings (one release of grace): accepted as kwargs,
+    # folded into ``parallel`` with a DeprecationWarning, never stored.
+    mp_start_method: InitVar["str | None"] = None
+    mp_chunk_timeout: InitVar["float | None"] = None
+    mp_max_retries: InitVar["int | None"] = None
+    mp_backoff_base: InitVar["float | None"] = None
+    mp_chunks_per_worker: InitVar["int | None"] = None
+    mp_fault_spec: InitVar["str | None"] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        mp_start_method: "str | None",
+        mp_chunk_timeout: "float | None",
+        mp_max_retries: "int | None",
+        mp_backoff_base: "float | None",
+        mp_chunks_per_worker: "int | None",
+        mp_fault_spec: "str | None",
+    ) -> None:
+        legacy: "dict[str, Any]" = {
+            "start_method": mp_start_method,
+            "chunk_timeout": mp_chunk_timeout,
+            "max_retries": mp_max_retries,
+            "backoff_base": mp_backoff_base,
+            "chunks_per_worker": mp_chunks_per_worker,
+            "fault_spec": mp_fault_spec,
+        }
+        used = {name: value for name, value in legacy.items() if value is not None}
+        for name in used:
+            _warn_deprecated_mp(f"mp_{name}", name)
+        if used:
+            # replace() re-runs ParallelConfig validation on the merged values.
+            self.parallel = dataclasses.replace(self.parallel, **used)
         if self.k < 1:
             raise ConfigError(f"k must be >= 1, got {self.k}")
         if self.pad < 0:
@@ -188,31 +317,17 @@ class PipelineConfig:
                 "escalation contract's validated range (DESIGN §12 "
                 "calibrates the fast path on semi-global paths only)"
             )
-        if self.mp_start_method not in MP_START_METHODS:
-            raise ConfigError(
-                f"mp_start_method must be one of {list(MP_START_METHODS)}, "
-                f"got {self.mp_start_method!r}"
-            )
-        if self.mp_chunk_timeout <= 0:
-            raise ConfigError(
-                f"mp_chunk_timeout must be > 0, got {self.mp_chunk_timeout}"
-            )
-        if self.mp_max_retries < 0:
-            raise ConfigError(
-                f"mp_max_retries must be >= 0, got {self.mp_max_retries}"
-            )
-        if self.mp_backoff_base < 0:
-            raise ConfigError(
-                f"mp_backoff_base must be >= 0, got {self.mp_backoff_base}"
-            )
-        if self.mp_chunks_per_worker < 1:
-            raise ConfigError(
-                f"mp_chunks_per_worker must be >= 1, "
-                f"got {self.mp_chunks_per_worker}"
-            )
-        # Fail fast on a malformed fault spec — at config time, in the
-        # parent, not mid-run inside a worker.
-        parse_fault_spec(self.mp_fault_spec)
+
+    def __getattr__(self, name: str) -> Any:
+        # Deprecated flat reads (config.mp_chunk_timeout, ...) forward to the
+        # nested ParallelConfig.  Only fires for attributes that don't exist,
+        # so regular fields and the InitVar kwargs are unaffected.
+        if name.startswith("mp_") and name[3:] in _PARALLEL_FIELD_NAMES:
+            _warn_deprecated_mp(name, name[3:])
+            return getattr(self.parallel, name[3:])
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     @property
     def banding(self) -> bool:
@@ -230,3 +345,11 @@ class PipelineConfig:
             return 1.0
         width = read_len + 2 * self.pad
         return min(1.0, (2 * self.band_w + 1) / width)
+
+
+# The InitVar defaults linger as class attributes after dataclass processing
+# and would shadow __getattr__, making deprecated reads silently return None.
+# The generated __init__ already captured the defaults, so drop them.
+for _legacy_name in _PARALLEL_FIELD_NAMES:
+    delattr(PipelineConfig, f"mp_{_legacy_name}")
+del _legacy_name

@@ -104,15 +104,36 @@ class PipelineResult:
 class GnumapSnp:
     """Serial GNUMAP-SNP pipeline bound to one reference genome."""
 
-    def __init__(self, reference: Reference, config: PipelineConfig | None = None) -> None:
+    def __init__(
+        self,
+        reference: Reference,
+        config: PipelineConfig | None = None,
+        *,
+        index: "GenomeIndex | None" = None,
+    ) -> None:
         self.reference = reference
         self.config = config or PipelineConfig()
         cfg = self.config
-        self.index = GenomeIndex(
-            reference,
-            k=cfg.k,
-            max_positions_per_kmer=cfg.max_index_positions_per_kmer,
-        )
+        if index is not None:
+            # Pre-built index (e.g. attached zero-copy from shared memory by
+            # a pool worker); must describe the same genome and mer-size.
+            if index.k != cfg.k:
+                raise PipelineError(
+                    f"supplied index has k={index.k}, config wants k={cfg.k}"
+                )
+            if index.reference is not reference and len(index.reference) != len(
+                reference
+            ):
+                raise PipelineError(
+                    "supplied index was built for a different reference"
+                )
+            self.index = index
+        else:
+            self.index = GenomeIndex(
+                reference,
+                k=cfg.k,
+                max_positions_per_kmer=cfg.max_index_positions_per_kmer,
+            )
         self.seeder = Seeder(self.index, cfg.seeder)
         self.caller = SNPCaller(cfg.caller)
 

@@ -14,20 +14,31 @@ completes, with byte-identical SNP calls, and every recovery is visible in
 the metrics (``mp.chunk_retries``, ``mp.chunk_timeouts``,
 ``mp.worker_deaths``, ``mp.partial_rejects``, ``mp.serial_fallbacks``).
 Recovery paths are testable via deterministic fault injection
-(:mod:`repro.parallel.faults`; ``PipelineConfig.mp_fault_spec`` or the
+(:mod:`repro.parallel.faults`; ``ParallelConfig.fault_spec`` or the
 ``REPRO_FAULTS`` environment variable).
 
-Workers re-build the genome index from the reference — cheap relative to
-mapping and simpler/safer than shipping index arrays through pickling.  The
-start method is pinned explicitly (``PipelineConfig.mp_start_method``,
-default ``"spawn"``) so span-stack and sanitizer-propagation semantics no
-longer depend on what a prior caller or the platform happened to set.
+Two worker-provisioning modes exist:
+
+* **pickle mode** (:func:`_init_worker`, the non-pool path): each worker
+  receives the genome codes by pickle and re-builds the index — simple,
+  but the costs recur per worker per run;
+* **shared-memory pool mode** (:func:`_init_pool_worker`, the default via
+  :class:`repro.parallel.pool.PersistentPool`): the parent publishes genome
+  codes and index CSR arrays as shared-memory segments once per Engine, and
+  every worker — including one respawned after a crash — attaches zero-copy
+  views instead (``mp.worker_attach_seconds`` measures the difference).
+
+The start method is pinned explicitly (``ParallelConfig.start_method``,
+default ``"spawn"``) so span-stack and sanitizer-propagation semantics never
+depend on what a prior caller or the platform happened to set.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +46,7 @@ import repro.observability.trace as trace
 from repro.errors import PipelineError
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
+from repro.index.hashindex import GenomeIndex
 from repro.memory.base import Accumulator
 from repro.observability import current, detached, merge_snapshots, scope, span
 from repro.observability.snapshot import MetricsSnapshot
@@ -45,10 +57,15 @@ from repro.parallel.partition import (
     take,
     validate_partition,
 )
+from repro.parallel.pool import PersistentPool
+from repro.parallel.shm import attach_array
 from repro.phmm import sanitize
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult, fill_timers
 from repro.util.timers import TimerRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.shm import SharedArraySpec
 
 #: One chunk's transportable payload: (codes, quals, names) per read.
 ChunkPayload = "tuple[list, list, list]"
@@ -84,6 +101,58 @@ def _init_worker(
     _WORKER["faults"] = fault_plan  # replint: disable=RPL301,RPL801
 
 
+def _init_pool_worker(
+    specs: "dict[str, SharedArraySpec]",
+    ref_name: str,
+    config: PipelineConfig,
+    sanitize_on: bool = False,
+    fault_plan: "FaultPlan | None" = None,
+    trace_on: bool = False,
+    n_masked_kmers: int = 0,
+) -> None:
+    """Attach-mode initializer for :class:`PersistentPool` workers.
+
+    Instead of a pickled genome, the worker gets the publication map and
+    wraps zero-copy read-only views over the parent's shared segments —
+    genome codes plus the index CSR triple — then rehydrates the pipeline
+    around them without any index rebuild.  A respawned worker runs this
+    again: re-attaching costs an ``mmap``, not a genome pickle, which is
+    what makes crash recovery cheap under the persistent pool.
+    """
+    if sanitize_on:
+        sanitize.enable()
+    if trace_on:
+        trace.enable()
+    trace.set_process_label("worker")
+    started = time.perf_counter()
+    views = {}
+    handles = []
+    for key, spec in specs.items():
+        view, shm = attach_array(spec)
+        views[key] = view
+        handles.append(shm)
+    reference = Reference(views["ref_codes"], name=ref_name, copy=False)
+    index = GenomeIndex.from_arrays(
+        reference,
+        config.k,
+        views["index_kmers"],
+        views["index_offsets"],
+        views["index_positions"],
+        max_positions_per_kmer=config.max_index_positions_per_kmer,
+        n_masked_kmers=n_masked_kmers,
+    )
+    pipe = GnumapSnp(reference, config, index=index)
+    # Handles must stay alive as long as the views (closing unmaps the
+    # buffer); the worker holds them for its lifetime and never unlinks —
+    # the publishing parent owns unlink (see repro.parallel.shm).
+    _WORKER["pipe"] = pipe  # replint: disable=RPL301
+    _WORKER["config"] = config  # replint: disable=RPL301
+    _WORKER["faults"] = fault_plan  # replint: disable=RPL301
+    _WORKER["shm_handles"] = handles  # replint: disable=RPL301
+    # One-shot attach cost; the next _map_chunk pops it into its snapshot.
+    _WORKER["attach_seconds"] = time.perf_counter() - started  # replint: disable=RPL301
+
+
 def _map_chunk(
     payload: "tuple[list, list, list]", chunk_id: int = 0, attempt: int = 0
 ) -> "tuple[dict, dict, MetricsSnapshot]":
@@ -103,6 +172,10 @@ def _map_chunk(
     # detached(): forked workers inherit the parent's open span path (spawned
     # ones don't) — root the chunk's spans either way.
     with detached(), scope() as reg:
+        attach = _WORKER.pop("attach_seconds", None)  # replint: disable=RPL301,RPL801
+        if attach is not None:
+            # Ships home with this worker's first chunk snapshot.
+            reg.observe("mp.worker_attach_seconds", float(attach))
         trace.instant("mp.chunk_begin", chunk=chunk_id, attempt=attempt)
         started = time.perf_counter()
         acc, stats = pipe.map_reads(reads)
@@ -114,10 +187,88 @@ def _map_chunk(
     return buffers, vars(stats), snapshot
 
 
+def make_pool(pipe: GnumapSnp, n_workers: int) -> PersistentPool:
+    """Build a :class:`PersistentPool` for ``pipe``'s genome and config.
+
+    With ``config.parallel.shared_memory`` on (default) the genome codes
+    and index CSR arrays are published as shared segments and workers run
+    the attach-mode initializer; otherwise workers fall back to the pickle
+    initializer (still persistent — spawn costs amortise either way).  The
+    caller owns the pool: ``Engine`` keeps it for its lifetime and
+    ``close()`` releases workers and segments.
+    """
+    if n_workers < 1:
+        raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
+    config = pipe.config
+    par = config.parallel
+    reference = pipe.reference
+    plan = resolve_fault_plan(par.fault_spec)
+    ctx = mp.get_context(par.start_method)
+    glen = len(reference)
+    acc_type = type(pipe.new_accumulator())
+
+    def validate_partial(
+        chunk_id: int, result: "tuple[dict, dict, MetricsSnapshot]"
+    ) -> None:
+        # Chunk-level validation before merge: a partial corrupted in a
+        # worker (or in transit) must be rejected *here*, attributed to its
+        # chunk, and retried — never merged into the evidence.
+        buffers, _, _ = result
+        part = acc_type.from_buffers(glen, buffers)
+        sanitize.check_partial(part.snapshot(), chunk_id)
+
+    common = (
+        config,
+        sanitize.enabled(),
+        plan if plan else None,
+        trace.enabled(),
+    )
+    arrays: "dict[str, np.ndarray] | None" = None
+    if par.shared_memory:
+        kmers, offsets, positions = pipe.index.csr_arrays()
+        arrays = {
+            "ref_codes": np.asarray(reference.codes),
+            "index_kmers": kmers,
+            "index_offsets": offsets,
+            "index_positions": positions,
+        }
+        initializer = _init_pool_worker
+        initargs = (reference.name,) + common + (pipe.index.n_masked_kmers,)
+    else:
+        initializer = _init_worker
+        initargs = (np.asarray(reference.codes), reference.name) + common
+    return PersistentPool(
+        ctx,
+        n_workers,
+        _map_chunk,
+        initializer=initializer,
+        initargs=initargs,
+        arrays=arrays,
+        timeout=par.chunk_timeout,
+        max_retries=par.max_retries,
+        backoff_base=par.backoff_base,
+        # validate= runs in the *parent* on returned partials; it is never
+        # pickled or shipped to a worker, so capturing locals here is safe.
+        validate=validate_partial if sanitize.enabled() else None,  # replint: disable=RPL802
+        chunks_per_worker=par.chunks_per_worker,
+        autotune=par.autotune_chunks,
+    )
+
+
+def _payload_item_nbytes(payload: "tuple[list, list, list]") -> float:
+    """Mean transport bytes per read of one chunk payload (codes + quals)."""
+    codes_list, quals_list, _ = payload
+    if not codes_list:
+        return 0.0
+    total = sum(c.nbytes for c in codes_list) + sum(q.nbytes for q in quals_list)
+    return float(total) / len(codes_list)
+
+
 def map_reads_multiprocessing(
     pipe: GnumapSnp,
     reads: "list[Read]",
     n_workers: int,
+    pool: "PersistentPool | None" = None,
 ) -> "tuple[Accumulator, MappingStats]":
     """Map ``reads`` across ``n_workers`` processes with fault tolerance.
 
@@ -129,6 +280,12 @@ def map_reads_multiprocessing(
     chunks serially in the parent, and merges partials in chunk order so
     the result is deterministic whatever failed along the way.
 
+    With ``pool`` given (the Engine path), chunks stream over the pool's
+    warm persistent fleet instead of a per-run dispatcher, and the chunk
+    count comes from the pool's autotuner; the observed per-chunk cost is
+    fed back afterwards.  Chunking never changes results — per-read
+    evidence is chunk-invariant — so the plan only affects latency.
+
     Counters and spans land in the *current* observability registry.
     Degenerate inputs (one worker, fewer than two reads) run serially with
     an explicit ``mp.serial_fallbacks`` counter and an effective-worker
@@ -138,6 +295,7 @@ def map_reads_multiprocessing(
     if n_workers < 1:
         raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
     config = pipe.config
+    par = config.parallel
     reference = pipe.reference
     reg = current()
 
@@ -146,7 +304,10 @@ def map_reads_multiprocessing(
         reg.gauge_max("mp.workers_effective", 1)
         return pipe.map_reads(reads)
 
-    n_chunks = max(1, min(len(reads), n_workers * config.mp_chunks_per_worker))
+    if pool is not None:
+        n_chunks = pool.plan_chunks(len(reads))
+    else:
+        n_chunks = max(1, min(len(reads), n_workers * par.chunks_per_worker))
     slices = partition_reads_contiguous(len(reads), n_chunks)
     validate_partition(slices, len(reads))
     chunk_reads = [take(reads, sl) for sl in slices]
@@ -159,44 +320,50 @@ def map_reads_multiprocessing(
         for part in chunk_reads
     ]
 
-    plan = resolve_fault_plan(config.mp_fault_spec)
-    ctx = mp.get_context(config.mp_start_method)
     glen = len(reference)
     acc_type = type(pipe.new_accumulator())
+    dispatcher: "ChunkDispatcher | None" = None
+    if pool is None:
+        plan = resolve_fault_plan(par.fault_spec)
+        ctx = mp.get_context(par.start_method)
 
-    def validate_partial(chunk_id: int, result: "tuple[dict, dict, MetricsSnapshot]") -> None:
-        # Chunk-level validation before merge: a partial corrupted in a
-        # worker (or in transit) must be rejected *here*, attributed to its
-        # chunk, and retried — never merged into the evidence.
-        buffers, _, _ = result
-        part = acc_type.from_buffers(glen, buffers)
-        sanitize.check_partial(part.snapshot(), chunk_id)
+        def validate_partial(
+            chunk_id: int, result: "tuple[dict, dict, MetricsSnapshot]"
+        ) -> None:
+            # Parent-side partial validation before merge (see make_pool).
+            buffers, _, _ = result
+            part = acc_type.from_buffers(glen, buffers)
+            sanitize.check_partial(part.snapshot(), chunk_id)
 
-    dispatcher = ChunkDispatcher(
-        ctx,
-        n_workers,
-        _map_chunk,
-        initializer=_init_worker,
-        initargs=(
-            np.asarray(reference.codes),
-            reference.name,
-            config,
-            sanitize.enabled(),
-            plan if plan else None,
-            trace.enabled(),
-        ),
-        timeout=config.mp_chunk_timeout,
-        max_retries=config.mp_max_retries,
-        backoff_base=config.mp_backoff_base,
-        # validate= runs in the *parent* on returned partials; it is never
-        # pickled or shipped to a worker, so capturing locals here is safe.
-        validate=validate_partial if sanitize.enabled() else None,  # replint: disable=RPL802
-    )
+        dispatcher = ChunkDispatcher(
+            ctx,
+            n_workers,
+            _map_chunk,
+            initializer=_init_worker,
+            initargs=(
+                np.asarray(reference.codes),
+                reference.name,
+                config,
+                sanitize.enabled(),
+                plan if plan else None,
+                trace.enabled(),
+            ),
+            timeout=par.chunk_timeout,
+            max_retries=par.max_retries,
+            backoff_base=par.backoff_base,
+            # validate= runs in the *parent* on returned partials; it is never
+            # pickled or shipped to a worker, so capturing locals here is safe.
+            validate=validate_partial if sanitize.enabled() else None,  # replint: disable=RPL802
+        )
 
     merged: "Accumulator | None" = None
     total = MappingStats()
     with span("map_parallel"):
-        outcome = dispatcher.run(payloads)
+        if pool is not None:
+            outcome = pool.run(payloads)
+        else:
+            assert dispatcher is not None
+            outcome = dispatcher.run(payloads)
 
         # Merge in chunk order — deterministic regardless of completion
         # order, retries, or which chunks degraded to the parent.
@@ -226,7 +393,18 @@ def map_reads_multiprocessing(
             total.merge(part_stats)
         if worker_snaps:
             # One associative fold, then one coherent tree in this process.
-            reg.absorb(merge_snapshots(*worker_snaps))
+            worker_merged = merge_snapshots(*worker_snaps)
+            reg.absorb(worker_merged)
+            if pool is not None:
+                # Autotune feedback: the run's median chunk cost refines the
+                # next plan_chunks() call on this warm pool.
+                p50 = worker_merged.histogram_quantile("mp.chunk_map_seconds", 0.5)
+                if math.isfinite(p50):
+                    pool.note_chunk_time(
+                        p50,
+                        len(reads) / n_chunks,
+                        _payload_item_nbytes(payloads[0]),
+                    )
         reg.gauge_max("mp.workers", n_workers)
         # Effective parallelism: requested workers capped by chunk count
         # (n_workers > n_chunks leaves the surplus idle).
@@ -247,6 +425,9 @@ def run_multiprocessing(
     reads: "list[Read]",
     config: PipelineConfig | None = None,
     n_workers: int = 2,
+    *,
+    pool: "PersistentPool | None" = None,
+    pipeline: "GnumapSnp | None" = None,
 ) -> PipelineResult:
     """Map reads across ``n_workers`` real processes, then call SNPs.
 
@@ -255,15 +436,19 @@ def run_multiprocessing(
     corrupted partials are retried and, past the retry budget, re-run
     serially in the parent — the run completes with identical SNP calls and
     the recovery counters tell the story (see the module docstring).
+
+    ``pool``/``pipeline`` are the Engine integration points: a warm
+    :class:`PersistentPool` reuses its fleet and shared segments instead of
+    spawning per run, and a pre-built pipeline skips the index rebuild.
     """
     if n_workers < 1:
         raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
     config = config or PipelineConfig()
-    pipe = GnumapSnp(reference, config)
+    pipe = pipeline if pipeline is not None else GnumapSnp(reference, config)
     timers = TimerRegistry()
 
     with scope() as reg:
-        merged, total = map_reads_multiprocessing(pipe, reads, n_workers)
+        merged, total = map_reads_multiprocessing(pipe, reads, n_workers, pool=pool)
         if sanitize.enabled():
             # Validate the cross-worker reduction before calling: a partial
             # corrupted in transit (or by a worker) must fail here, not as a

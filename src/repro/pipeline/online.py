@@ -28,7 +28,7 @@ monitoring (used by the tests to assert monotone-ish behaviour).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.genome.fastq import Read
 from repro.genome.reference import Reference
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp, MappingStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.pool import PersistentPool
 
 
 @dataclass(frozen=True)
@@ -61,17 +64,27 @@ class ChunkReport:
 
 
 class OnlineGnumap:
-    """Streaming wrapper over :class:`GnumapSnp` with a shared accumulator."""
+    """Streaming wrapper over :class:`GnumapSnp` with a shared accumulator.
+
+    With ``workers > 1`` (explicit, or via ``config.parallel.workers``) the
+    stream lazily builds a persistent shared-memory pool on the first fed
+    chunk and reuses its warm fleet for every subsequent chunk; ``close()``
+    (or the context manager) releases it.  A long-lived stream is exactly
+    the workload the persistent pool exists for: spawn and genome-broadcast
+    costs are paid once, not per chunk.
+    """
 
     def __init__(
         self,
         reference: Reference,
         config: PipelineConfig | None = None,
-        workers: int = 1,
+        workers: "int | None" = None,
     ) -> None:
+        self.pipeline = GnumapSnp(reference, config)
+        if workers is None:
+            workers = self.pipeline.config.parallel.workers
         if workers < 1:
             raise PipelineError(f"workers must be >= 1, got {workers}")
-        self.pipeline = GnumapSnp(reference, config)
         self.workers = workers
         self.accumulator = self.pipeline.new_accumulator()
         self.stats = MappingStats()
@@ -79,6 +92,29 @@ class OnlineGnumap:
         self._watched: set[int] = set()
         self._watch_state: dict[int, "str | None"] = {}
         self._history: list[int] = []
+        self._pool: "PersistentPool | None" = None
+
+    def _get_pool(self) -> "PersistentPool | None":
+        """Lazily build (and then reuse) the stream's persistent pool."""
+        if not self.pipeline.config.parallel.persistent:
+            return None
+        if self._pool is None or self._pool.closed:
+            from repro.pipeline.mp_backend import make_pool
+
+            self._pool = make_pool(self.pipeline, self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool and shared segments (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "OnlineGnumap":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def watch(self, positions: "Sequence[int] | Iterable[int]") -> None:
         """Track positions; ``feed`` reports their call-state transitions."""
@@ -97,7 +133,7 @@ class OnlineGnumap:
             from repro.pipeline.mp_backend import map_reads_multiprocessing
 
             part_acc, chunk_stats = map_reads_multiprocessing(
-                self.pipeline, reads, self.workers
+                self.pipeline, reads, self.workers, pool=self._get_pool()
             )
             self.accumulator.merge(part_acc)
         else:

@@ -17,6 +17,12 @@ Memory-spread
 Both programs compute real results (used by the correctness tests against
 serial runs) while charging calibrated compute and modelled communication to
 the virtual clocks (used by the Fig. 4/5 reproductions).
+
+These drivers model the *paper's* cluster topology; the production
+multi-core path on one machine is :mod:`repro.pipeline.mp_backend` backed
+by the persistent shared-memory pool (:mod:`repro.parallel.pool`) — the
+read-spread design realised with zero-copy genome/index broadcast instead
+of per-rank replicas.
 """
 
 from __future__ import annotations

@@ -126,7 +126,7 @@ class TestSerialVsMultiprocessing:
         assert p.span_count("map_parallel") == 1
         # One map_reads span per dispatched chunk (chunks = workers x
         # chunks-per-worker, capped by the read count).
-        n_chunks = min(len(reads), 3 * PipelineConfig().mp_chunks_per_worker)
+        n_chunks = min(len(reads), 3 * PipelineConfig().parallel.chunks_per_worker)
         assert p.span_count("map_reads") == n_chunks
         assert p.span_seconds("map_reads/align") > 0
 
@@ -171,9 +171,12 @@ class TestCliMetricsJson:
         assert doc4["histograms"]["mp.chunk_map_seconds"]["count"] > 0
         for name in INVARIANT_COUNTERS:
             assert doc1["counters"][name] == doc4["counters"][name], name
-        # Gauges agree except the mp-only worker-count gauges.
+        # Gauges agree except the mp-only worker-count and pool gauges.
         assert doc4["gauges"].pop("mp.workers") == 4
         assert doc4["gauges"].pop("mp.workers_effective") == 4
+        # The CLI's parallel path runs over the persistent shared-memory
+        # pool: the published genome+index bytes are reported.
+        assert doc4["gauges"].pop("mp.shm_bytes") > 0
         assert doc1["gauges"] == doc4["gauges"]
         # Times are consistent, not identical: both runs report a positive
         # span total and every tree totals its children.

@@ -1,9 +1,11 @@
 """Tests for pipeline configuration validation."""
 
+import warnings
+
 import pytest
 
 from repro.errors import ConfigError
-from repro.pipeline.config import PipelineConfig
+from repro.pipeline.config import ParallelConfig, PipelineConfig
 
 
 class TestPipelineConfig:
@@ -76,29 +78,6 @@ class TestPipelineConfig:
             band_mode="fixed", band_w=1000
         ).band_cell_fraction(62) == 1.0
 
-    def test_mp_defaults(self):
-        cfg = PipelineConfig()
-        assert cfg.mp_start_method == "spawn"
-        assert cfg.mp_chunk_timeout == 120.0
-        assert cfg.mp_max_retries == 2
-        assert cfg.mp_chunks_per_worker == 4
-        assert cfg.mp_fault_spec == ""
-
-    def test_mp_validation(self):
-        with pytest.raises(ConfigError):
-            PipelineConfig(mp_start_method="thread")
-        with pytest.raises(ConfigError):
-            PipelineConfig(mp_chunk_timeout=0.0)
-        with pytest.raises(ConfigError):
-            PipelineConfig(mp_max_retries=-1)
-        with pytest.raises(ConfigError):
-            PipelineConfig(mp_backoff_base=-0.1)
-        with pytest.raises(ConfigError):
-            PipelineConfig(mp_chunks_per_worker=0)
-        # A malformed fault spec fails at config time, not mid-run.
-        with pytest.raises(ConfigError):
-            PipelineConfig(mp_fault_spec="segfault:chunk=0")
-
     def test_subconfigs_carried(self):
         from repro.calling.caller import CallerConfig
         from repro.index.seeding import SeederConfig
@@ -109,3 +88,84 @@ class TestPipelineConfig:
         )
         assert cfg.seeder.min_support == 3
         assert cfg.caller.alpha == 0.01
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        par = PipelineConfig().parallel
+        assert par.workers == 1
+        assert par.start_method == "spawn"
+        assert par.chunk_timeout == 120.0
+        assert par.max_retries == 2
+        assert par.chunks_per_worker == 4
+        assert par.fault_spec == ""
+        # The 2.0 defaults: warm pool over shared-memory segments, chunk
+        # granularity autotuned.
+        assert par.persistent
+        assert par.shared_memory
+        assert par.autotune_chunks
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParallelConfig(workers=0)
+        with pytest.raises(ConfigError):
+            ParallelConfig(start_method="thread")
+        with pytest.raises(ConfigError):
+            ParallelConfig(chunk_timeout=0.0)
+        with pytest.raises(ConfigError):
+            ParallelConfig(max_retries=-1)
+        with pytest.raises(ConfigError):
+            ParallelConfig(backoff_base=-0.1)
+        with pytest.raises(ConfigError):
+            ParallelConfig(chunks_per_worker=0)
+        # A malformed fault spec fails at config time, not mid-run.
+        with pytest.raises(ConfigError):
+            ParallelConfig(fault_spec="segfault:chunk=0")
+
+    def test_nested_carried(self):
+        cfg = PipelineConfig(
+            parallel=ParallelConfig(workers=4, start_method="fork")
+        )
+        assert cfg.parallel.workers == 4
+        assert cfg.parallel.start_method == "fork"
+
+
+class TestDeprecatedFlatKnobs:
+    """The six 1.x flat ``mp_*`` knobs stay usable for one release, folding
+    into the nested ``parallel`` config behind a DeprecationWarning."""
+
+    def test_legacy_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="parallel.chunk_timeout"):
+            cfg = PipelineConfig(mp_chunk_timeout=5.0)
+        assert cfg.parallel.chunk_timeout == 5.0
+        with pytest.warns(DeprecationWarning, match="parallel.start_method"):
+            cfg = PipelineConfig(mp_start_method="fork")
+        assert cfg.parallel.start_method == "fork"
+        with pytest.warns(DeprecationWarning):
+            cfg = PipelineConfig(
+                mp_max_retries=1, mp_backoff_base=0.01,
+                mp_chunks_per_worker=2, mp_fault_spec="crash:chunk=0",
+            )
+        assert cfg.parallel.max_retries == 1
+        assert cfg.parallel.backoff_base == 0.01
+        assert cfg.parallel.chunks_per_worker == 2
+        assert cfg.parallel.fault_spec == "crash:chunk=0"
+
+    def test_legacy_kwarg_still_validates(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                PipelineConfig(mp_start_method="thread")
+
+    def test_legacy_reads_warn_and_forward(self):
+        cfg = PipelineConfig(parallel=ParallelConfig(chunk_timeout=7.0))
+        with pytest.warns(DeprecationWarning, match="parallel.chunk_timeout"):
+            assert cfg.mp_chunk_timeout == 7.0
+        with pytest.warns(DeprecationWarning):
+            assert cfg.mp_start_method == "spawn"
+
+    def test_new_spelling_stays_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cfg = PipelineConfig(parallel=ParallelConfig(workers=2))
+            assert cfg.parallel.workers == 2
+            assert cfg.parallel.chunk_timeout == 120.0

@@ -15,7 +15,7 @@ from repro.errors import PipelineError
 from repro.experiments.workload import build_workload
 from repro.observability import scope
 from repro.phmm import sanitize
-from repro.pipeline.config import PipelineConfig
+from repro.pipeline.config import ParallelConfig, PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
 from repro.pipeline.mp_backend import run_multiprocessing
 
@@ -38,7 +38,7 @@ def _calls(result):
 
 
 def _fork_config(**kwargs):
-    return PipelineConfig(mp_start_method="fork", **kwargs)
+    return PipelineConfig(parallel=ParallelConfig(start_method="fork", **kwargs))
 
 
 class TestMultiprocessingBackend:
@@ -79,7 +79,7 @@ class TestStartMethods:
         result = run_multiprocessing(
             workload.reference,
             workload.reads,
-            PipelineConfig(mp_start_method=method),
+            PipelineConfig(parallel=ParallelConfig(start_method=method)),
             n_workers=2,
         )
         assert _calls(result) == _calls(serial_result)
@@ -127,8 +127,8 @@ class TestFaultRecovery:
         # the chunk deadline; the run completes, the calls match serial,
         # and the recovery counters tell the story.
         faulted = _fork_config(
-            mp_fault_spec="crash:chunk=0;hang:chunk=1,secs=30",
-            mp_chunk_timeout=2.0,
+            fault_spec="crash:chunk=0;hang:chunk=1,secs=30",
+            chunk_timeout=2.0,
         )
         with scope() as reg:
             result = run_multiprocessing(
@@ -153,7 +153,7 @@ class TestFaultRecovery:
     def test_corrupt_partial_is_rejected_and_retried(
         self, workload, serial_result
     ):
-        faulted = _fork_config(mp_fault_spec="corrupt:chunk=0")
+        faulted = _fork_config(fault_spec="corrupt:chunk=0")
         with sanitize.sanitized(True), scope() as reg:
             result = run_multiprocessing(
                 workload.reference, workload.reads, faulted, n_workers=2
@@ -173,7 +173,7 @@ class TestFaultRecovery:
         # validation on.  This pins the gating, not a desirable outcome.
         from repro.pipeline.mp_backend import map_reads_multiprocessing
 
-        faulted = _fork_config(mp_fault_spec="corrupt:chunk=0")
+        faulted = _fork_config(fault_spec="corrupt:chunk=0")
         pipe = GnumapSnp(workload.reference, faulted)
         with sanitize.sanitized(False), scope() as reg:
             merged, _ = map_reads_multiprocessing(pipe, workload.reads, 2)
@@ -186,7 +186,7 @@ class TestFaultRecovery:
         # A chunk that fails every attempt must complete serially in the
         # parent — the run never dies, the degradation is counted.
         faulted = _fork_config(
-            mp_fault_spec="crash:chunk=0,times=10", mp_max_retries=1
+            fault_spec="crash:chunk=0,times=10", max_retries=1
         )
         with scope() as reg:
             result = run_multiprocessing(

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import PipelineError
 from repro.experiments.workload import build_workload
-from repro.pipeline.config import PipelineConfig
+from repro.pipeline.config import ParallelConfig, PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
 from repro.pipeline.online import OnlineGnumap
 
@@ -85,7 +85,7 @@ class TestOnlineParallelFeed:
     def test_parallel_feed_matches_serial_stream(self, workload):
         # fork keeps the per-chunk worker spawns cheap; the dispatcher
         # itself is start-method-agnostic (tests/pipeline/test_mp_backend).
-        config = PipelineConfig(mp_start_method="fork")
+        config = PipelineConfig(parallel=ParallelConfig(start_method="fork"))
         serial = OnlineGnumap(workload.reference, PipelineConfig())
         parallel = OnlineGnumap(workload.reference, config, workers=2)
         for chunk in chunks(workload.reads[:200], 2):
@@ -104,11 +104,12 @@ class TestOnlineParallelFeed:
     def test_parallel_feed_survives_injected_crash(self, workload):
         # A fed chunk with a crashing worker still lands: the stream keeps
         # going, evidence is identical to an unfaulted parallel stream.
-        config = PipelineConfig(
-            mp_start_method="fork", mp_fault_spec="crash:chunk=0"
-        )
+        config = PipelineConfig(parallel=ParallelConfig(
+            start_method="fork", fault_spec="crash:chunk=0"
+        ))
         clean = OnlineGnumap(
-            workload.reference, PipelineConfig(mp_start_method="fork"),
+            workload.reference,
+            PipelineConfig(parallel=ParallelConfig(start_method="fork")),
             workers=2,
         )
         faulted = OnlineGnumap(workload.reference, config, workers=2)

@@ -16,7 +16,7 @@ import pytest
 import repro.observability.trace as trace
 from repro.experiments.workload import build_workload
 from repro.observability import scope, to_chrome_trace
-from repro.pipeline.config import PipelineConfig
+from repro.pipeline.config import ParallelConfig, PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
 from repro.pipeline.mp_backend import run_multiprocessing
 
@@ -37,8 +37,8 @@ def traced():
         trace.disable()
 
 
-def run_traced(workload, **config_kwargs):
-    config = PipelineConfig(**config_kwargs)
+def run_traced(workload, **parallel_kwargs):
+    config = PipelineConfig(parallel=ParallelConfig(**parallel_kwargs))
     with scope() as reg:
         result = run_multiprocessing(
             workload.reference, workload.reads, config, n_workers=2
@@ -60,10 +60,10 @@ class TestFaultInjectedTrace:
             # trace always carries >=2 worker lanes.
             return run_traced(
                 workload,
-                mp_start_method="spawn",
-                mp_fault_spec="crash:chunk=3",
-                mp_chunks_per_worker=2,
-                mp_backoff_base=0.01,
+                start_method="spawn",
+                fault_spec="crash:chunk=3",
+                chunks_per_worker=2,
+                backoff_base=0.01,
             )
         finally:
             trace.disable()
@@ -118,7 +118,7 @@ class TestFaultInjectedTrace:
 
 class TestCleanParallelTrace:
     def test_span_pairs_balance_per_lane(self, workload):
-        result, snap = run_traced(workload, mp_start_method="fork")
+        result, snap = run_traced(workload, start_method="fork")
         assert result.stats.n_reads == len(workload.reads)
         for pid, tid in {(ev[3], ev[5]) for ev in snap.events}:
             lane = [ev for ev in snap.events if (ev[3], ev[5]) == (pid, tid)]
@@ -127,6 +127,6 @@ class TestCleanParallelTrace:
             assert begins == ends, f"unbalanced span pairs in lane {pid}/{tid}"
 
     def test_mapping_weight_histogram_flows_back(self, workload):
-        _, snap = run_traced(workload, mp_start_method="fork")
+        _, snap = run_traced(workload, start_method="fork")
         hist = snap.histogram("pipeline.mapping_weight")
         assert hist is not None and hist["count"] > 0

@@ -1,10 +1,12 @@
-"""Tests for the public facade (:mod:`repro.api`) and the 1.x shims.
+"""Tests for the public facade (:mod:`repro.api`).
 
 The facade is a thin composition over the internal pipeline, so every test
 is an equivalence: whatever verb combination the caller picks — one-shot
-``run``, staged ``map_reads``+``call``, multiprocess ``run(workers=n)``,
-banded or full kernels, or the deprecated constructors — the SNP output is
-the same.
+``run``, staged ``map_reads``+``call``, engine ``workers`` over the
+persistent pool, banded or full kernels — the SNP output is the same.
+The engine's resource lifecycle (pool ownership, context manager, worker
+resize) is covered here; the pool internals live in
+``tests/parallel/test_pool.py``.
 """
 
 import warnings
@@ -17,8 +19,14 @@ from repro.api import CallResult, Engine
 from repro.errors import PipelineError
 from repro.experiments.workload import build_workload
 from repro.genome.fasta import write_fasta
-from repro.pipeline.config import PipelineConfig
+from repro.pipeline.config import ParallelConfig, PipelineConfig
 from repro.pipeline.gnumap import GnumapSnp
+
+
+def fork_config(**kwargs):
+    # fork keeps repeated pool spawns cheap in tests; semantics are
+    # start-method-agnostic (tests/pipeline/test_mp_backend.py).
+    return PipelineConfig(parallel=ParallelConfig(start_method="fork", **kwargs))
 
 
 @pytest.fixture(scope="module")
@@ -70,25 +78,43 @@ class TestEngine:
     def test_workers_two_matches_serial(self, workload):
         config = PipelineConfig()
         serial = Engine(workload.reference, config).run(workload.reads)
-        mp = Engine(workload.reference, config).run(workload.reads, workers=2)
+        with Engine(workload.reference, config, workers=2) as engine:
+            mp = engine.run(workload.reads)
         assert snp_keys(mp.snps) == snp_keys(serial.snps)
 
     def test_bad_workers_rejected(self, workload):
         with pytest.raises(PipelineError):
+            Engine(workload.reference, workers=0)
+        # An explicit per-call workers=0 warns (deprecated kwarg) and then
+        # fails validation, same as always.
+        with pytest.warns(DeprecationWarning), pytest.raises(PipelineError):
             Engine(workload.reference).run(workload.reads, workers=0)
-        with pytest.raises(PipelineError):
+        with pytest.warns(DeprecationWarning), pytest.raises(PipelineError):
             Engine(workload.reference).map_reads(workload.reads, workers=0)
 
+    def test_workers_from_config(self, workload):
+        engine = Engine(
+            workload.reference,
+            PipelineConfig(parallel=ParallelConfig(workers=3)),
+        )
+        assert engine.workers == 3
+        # The explicit constructor kwarg wins over the config.
+        assert Engine(
+            workload.reference,
+            PipelineConfig(parallel=ParallelConfig(workers=3)),
+            workers=2,
+        ).workers == 2
+
     def test_staged_parallel_map_matches_staged_serial(self, workload):
-        config = PipelineConfig(mp_start_method="fork")
+        config = fork_config()
         serial = Engine(workload.reference, config)
-        parallel = Engine(workload.reference, config)
         half = len(workload.reads) // 2
-        for batch in (workload.reads[:half], workload.reads[half:]):
-            serial.map_reads(batch)
-            parallel.map_reads(batch, workers=2)
-        assert parallel._stats.n_reads == len(workload.reads)
-        assert snp_keys(parallel.call().snps) == snp_keys(serial.call().snps)
+        with Engine(workload.reference, config, workers=2) as parallel:
+            for batch in (workload.reads[:half], workload.reads[half:]):
+                serial.map_reads(batch)
+                parallel.map_reads(batch)
+            assert parallel._stats.n_reads == len(workload.reads)
+            assert snp_keys(parallel.call().snps) == snp_keys(serial.call().snps)
 
     def test_from_fasta(self, workload, tmp_path):
         path = tmp_path / "ref.fa"
@@ -124,28 +150,69 @@ class TestBandedEngine:
     def test_banded_serial_matches_banded_mp(self, workload):
         config = PipelineConfig(band_mode="adaptive")
         serial = Engine(workload.reference, config).run(workload.reads)
-        mp = Engine(workload.reference, config).run(workload.reads, workers=2)
+        with Engine(workload.reference, config, workers=2) as engine:
+            mp = engine.run(workload.reads)
         assert snp_keys(mp.snps) == snp_keys(serial.snps)
         assert np.allclose(
             mp.accumulator.snapshot(), serial.accumulator.snapshot(), atol=1e-3
         )
 
 
-class TestDeprecatedShims:
-    def test_top_level_gnumap_warns_and_works(self, workload):
-        with pytest.warns(DeprecationWarning, match="repro.api.Engine"):
-            pipeline = repro.GnumapSnp(workload.reference, PipelineConfig())
-        result = pipeline.run(workload.reads[:100])
-        fresh = Engine(workload.reference).run(workload.reads[:100])
-        assert snp_keys(result.snps) == snp_keys(fresh.snps)
+class TestEngineLifecycle:
+    def test_context_manager_releases_pool_engine_stays_usable(self, workload):
+        reads = workload.reads[:120]
+        with Engine(workload.reference, fork_config(), workers=2) as engine:
+            first = engine.run(reads)
+            assert engine._pool is not None and not engine._pool.closed
+        # __exit__ released the fleet and segments...
+        assert engine._pool is None
+        # ...but the engine is not poisoned: the next call just rebuilds.
+        again = engine.run(reads)
+        assert snp_keys(again.snps) == snp_keys(first.snps)
 
-    def test_top_level_run_multiprocessing_warns_and_works(self, workload):
-        with pytest.warns(DeprecationWarning, match="Engine"):
-            result = repro.run_multiprocessing(
-                workload.reference, workload.reads[:100], n_workers=2
-            )
-        fresh = Engine(workload.reference).run(workload.reads[:100])
-        assert snp_keys(result.snps) == snp_keys(fresh.snps)
+    def test_pool_reused_across_calls(self, workload):
+        reads = workload.reads[:120]
+        with Engine(workload.reference, fork_config(), workers=2) as engine:
+            engine.run(reads)
+            pool = engine._pool
+            engine.run(reads)
+            engine.map_reads(reads)
+            assert engine._pool is pool
+            assert pool.runs == 3
+
+    def test_workers_resize_recycles_pool(self, workload):
+        reads = workload.reads[:120]
+        with Engine(workload.reference, fork_config(), workers=2) as engine:
+            engine.run(reads)
+            pool = engine._pool
+            engine.workers = 3
+            assert engine.workers == 3
+            assert pool.closed and engine._pool is None
+            engine.run(reads)
+            assert engine._pool is not None and engine._pool.n_workers == 3
+        with pytest.raises(PipelineError):
+            engine.workers = 0
+
+    def test_per_call_workers_kwarg_warns(self, workload):
+        reads = workload.reads[:120]
+        with Engine(workload.reference, fork_config()) as engine:
+            with pytest.warns(DeprecationWarning, match="workers"):
+                result = engine.run(reads, workers=2)
+        serial = Engine(workload.reference).run(reads)
+        assert snp_keys(result.snps) == snp_keys(serial.snps)
+
+    def test_close_is_idempotent(self, workload):
+        engine = Engine(workload.reference, workers=2)
+        engine.close()
+        engine.close()
+
+
+class TestRemovedShims:
+    def test_1x_shims_are_gone(self):
+        # 2.0 removed the deprecated top-level aliases.
+        assert not hasattr(repro, "GnumapSnp")
+        assert not hasattr(repro, "run_multiprocessing")
+        assert "GnumapSnp" not in repro.__all__
 
     def test_internal_constructor_stays_silent(self, workload):
         with warnings.catch_warnings():
@@ -157,3 +224,4 @@ class TestDeprecatedShims:
         assert repro.Engine is Engine
         assert repro.CallResult is CallResult
         assert "Engine" in repro.__all__
+        assert "ParallelConfig" in repro.__all__

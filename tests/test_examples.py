@@ -58,8 +58,8 @@ class TestExamples:
 
 
 class TestExampleSources:
-    """The examples double as API documentation: pin which entry point each
-    one exercises so the deprecated path keeps one living user until 2.0."""
+    """The examples double as API documentation: with the 1.x shims gone in
+    2.0, every example must exercise the Engine facade."""
 
     MIGRATED = (
         "quickstart.py",
@@ -67,6 +67,7 @@ class TestExampleSources:
         "memory_modes.py",
         "parallel_scaling.py",
         "diploid_calling.py",
+        "paired_end_repeats.py",
     )
 
     @pytest.mark.parametrize("name", MIGRATED)
@@ -74,7 +75,3 @@ class TestExampleSources:
         src = (EXAMPLES / name).read_text()
         assert "Engine" in src
         assert "GnumapSnp" not in src
-
-    def test_one_example_pins_deprecated_path(self):
-        src = (EXAMPLES / "paired_end_repeats.py").read_text()
-        assert "from repro import GnumapSnp" in src
