@@ -1,0 +1,190 @@
+"""Seeding benchmark: candidates-per-read vs recall trade-off ledger.
+
+The cheapest DP cell is the one never scheduled: this bench measures how
+much Pair-HMM work the SNAP-style long seeds and the PEANUT-style q-gram
+filtration remove upstream, and what (if anything) they cost in recall —
+the trade-off curve ROADMAP item 4 asks for.
+
+Two layers, both over the golden bench workload (the Table I scenario):
+
+* **seed level** — run the :class:`~repro.index.seeding.Seeder` alone over
+  every read and score candidates against each read's recorded true origin
+  (``true_pos``/``true_strand``): mean candidates per read, seed recall
+  (fraction of reads whose true diagonal survives), seeding throughput.
+  A threshold sweep gives the filtration trade-off curve.
+* **pipeline level** — full runs (align + call) at the baseline and
+  filtered configs: SNP precision/recall against the planted catalog,
+  wall seconds and end-to-end reads/second, plus a call-identity record.
+
+The payload persists as ``BENCH_seeding.json`` for CI to gate with
+``repro metrics diff --fail-on-regression`` (candidates_per_read and
+wall_seconds are lower-is-better; *_recall / *_precision / reduction_x
+higher-is-better — direction is read from the key names).
+
+The acceptance gates ride in-bench: filtration must cut candidates per
+read by >= 2x at <= 1 percentage point recall loss, at both layers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import OUTPUT_DIR, record
+
+from repro.evaluation.metrics import compare_to_truth
+from repro.index.hashindex import GenomeIndex
+from repro.index.seeding import Seeder, SeederConfig
+from repro.observability import scope
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.gnumap import GnumapSnp
+
+#: The long-seed width every non-baseline lane uses (SNAP's regime: long
+#: enough that chance hits are rare, short enough that a 62 bp read still
+#: carries dozens of overlapping seeds).
+SEED_LEN = 20
+
+#: Filtration thresholds swept for the trade-off curve.
+CURVE_THRESHOLDS = (0.2, 0.35, 0.5, 0.65, 0.8)
+
+#: A candidate hits the truth when it lands on the read's strand within
+#: this many diagonals of ``true_pos`` (the seeder's default slack).
+DIAG_TOLERANCE = 3
+
+
+def _seed_lane(wl, index: GenomeIndex, seeder_cfg: SeederConfig) -> dict:
+    """Run seeding alone over the workload; score against true origins."""
+    seeder = Seeder(index, seeder_cfg)
+    n_cands = 0
+    n_true = 0
+    t0 = time.perf_counter()
+    for read in wl.reads:
+        cands = seeder.candidates(read)
+        n_cands += len(cands)
+        for c in cands:
+            if (
+                c.strand == read.true_strand
+                and abs(c.band_diagonal - read.true_pos) <= DIAG_TOLERANCE
+            ):
+                n_true += 1
+                break
+    wall = time.perf_counter() - t0
+    n_reads = len(wl.reads)
+    return {
+        "candidates_per_read": n_cands / n_reads,
+        "seed_recall": n_true / n_reads,
+        "wall_seconds": wall,
+        "seed_reads_per_second": n_reads / wall,
+    }
+
+
+def _pipeline_lane(wl, config: PipelineConfig) -> "tuple[dict, list]":
+    """Full pipeline run; SNP-level accuracy + throughput."""
+    with scope():
+        t0 = time.perf_counter()
+        result = GnumapSnp(wl.reference, config).run(wl.reads)
+        wall = time.perf_counter() - t0
+    calls = [(s.pos, s.ref_name, s.alt_name) for s in result.snps]
+    counts = compare_to_truth(result.snps, wl.catalog)
+    return (
+        {
+            "wall_seconds": wall,
+            "reads_per_second": wl.n_reads / wall,
+            "snps": len(calls),
+            "snp_recall": counts.recall,
+            "snp_precision": counts.precision,
+        },
+        calls,
+    )
+
+
+def test_seeding_tradeoff(accuracy_workload):
+    wl = accuracy_workload
+    base_index = GenomeIndex(wl.reference, k=10)
+    long_index = GenomeIndex(wl.reference, k=10, seed_len=SEED_LEN)
+
+    baseline = _seed_lane(wl, base_index, SeederConfig())
+    long_only = _seed_lane(wl, long_index, SeederConfig(seed_len=SEED_LEN))
+    filtered_cfg = SeederConfig(seed_len=SEED_LEN, qgram_filter=True)
+    filtered = _seed_lane(wl, long_index, filtered_cfg)
+    filtered["reduction_x"] = (
+        baseline["candidates_per_read"] / filtered["candidates_per_read"]
+    )
+
+    curve = []
+    for thr in CURVE_THRESHOLDS:
+        lane = _seed_lane(
+            wl,
+            long_index,
+            SeederConfig(seed_len=SEED_LEN, qgram_filter=True, filter_threshold=thr),
+        )
+        curve.append(
+            {
+                "filter_threshold": thr,
+                "candidates_per_read": lane["candidates_per_read"],
+                "seed_recall": lane["seed_recall"],
+            }
+        )
+
+    pipe_base, base_calls = _pipeline_lane(wl, PipelineConfig())
+    pipe_filtered, filt_calls = _pipeline_lane(
+        wl, PipelineConfig(seeder=filtered_cfg)
+    )
+
+    payload = {
+        "workload": {
+            "reads": wl.n_reads,
+            "genome_bp": len(wl.reference),
+            "read_length": len(wl.reads[0]),
+            "seed_len": SEED_LEN,
+        },
+        "baseline": baseline,
+        "long_seeds": long_only,
+        "filtered": filtered,
+        "curve": curve,
+        "pipeline_baseline": pipe_base,
+        "pipeline_filtered": {
+            **pipe_filtered,
+            "speedup_vs_baseline": (
+                pipe_base["wall_seconds"] / pipe_filtered["wall_seconds"]
+            ),
+        },
+        "calls_identical": filt_calls == base_calls,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "BENCH_seeding.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    curve_txt = "  ".join(
+        f"thr={c['filter_threshold']:.2f}: {c['candidates_per_read']:.3f} c/r "
+        f"@ {c['seed_recall']:.2%}"
+        for c in curve
+    )
+    record(
+        "Seeding trade-off",
+        f"baseline (k=10): {baseline['candidates_per_read']:.3f} cand/read "
+        f"@ {baseline['seed_recall']:.2%} seed recall | "
+        f"long seeds (L={SEED_LEN}): {long_only['candidates_per_read']:.3f} | "
+        f"+ q-gram filter: {filtered['candidates_per_read']:.3f} "
+        f"({filtered['reduction_x']:.2f}x reduction) "
+        f"@ {filtered['seed_recall']:.2%} | curve: {curve_txt} | "
+        f"pipeline: {pipe_base['wall_seconds']:.1f}s -> "
+        f"{pipe_filtered['wall_seconds']:.1f}s "
+        f"({payload['pipeline_filtered']['speedup_vs_baseline']:.2f}x), "
+        f"snp recall {pipe_base['snp_recall']:.2%} -> "
+        f"{pipe_filtered['snp_recall']:.2%}, "
+        f"calls identical: {payload['calls_identical']}",
+    )
+
+    # The ROADMAP item-4 acceptance gates, enforced where they're measured.
+    assert filtered["reduction_x"] >= 2.0, (
+        f"filtration cut candidates/read only "
+        f"{filtered['reduction_x']:.2f}x (< 2x bar)"
+    )
+    assert filtered["seed_recall"] >= baseline["seed_recall"] - 0.01, (
+        f"seed recall dropped {baseline['seed_recall']:.4f} -> "
+        f"{filtered['seed_recall']:.4f} (> 1pp loss)"
+    )
+    assert pipe_filtered["snp_recall"] >= pipe_base["snp_recall"] - 0.01, (
+        f"SNP recall dropped {pipe_base['snp_recall']:.4f} -> "
+        f"{pipe_filtered['snp_recall']:.4f} (> 1pp loss)"
+    )

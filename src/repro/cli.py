@@ -28,8 +28,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index.seeding import SeederConfig
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -79,6 +83,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
         ),
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
+        seeder=_seeder_config(args),
     )
     args._config = config
     reads = read_fastq(args.reads)
@@ -124,6 +129,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         phmm_kernel=args.phmm_kernel,
         phmm_dtype=args.phmm_dtype,
         alignment_mode=args.alignment_mode,
+        seeder=_seeder_config(args),
     )
     args._config = config
     engine = Engine.from_fasta(args.reference, config)
@@ -273,6 +279,48 @@ def _add_kernel_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_seeding_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group(
+        "seeding",
+        "candidate generation: SNAP-style long seeds and PEANUT-style "
+        "q-gram filtration (both off by default)",
+    )
+    g.add_argument(
+        "--seed-len",
+        type=int,
+        default=None,
+        metavar="L",
+        help="seed reads with overlapping L-mers (L > k, <= 31) against a "
+        "long-seed index table instead of k-mers; longer seeds sharply cut "
+        "spurious candidates (default: seed at k)",
+    )
+    g.add_argument(
+        "--qgram-filter",
+        action="store_true",
+        help="score each clustered candidate by q-gram agreement against "
+        "its reference window and drop it below --filter-threshold, before "
+        "any Pair-HMM runs",
+    )
+    g.add_argument(
+        "--filter-threshold",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="fraction of the read's distinct q-grams that must occur in "
+        "the candidate window to survive filtration (default: 0.5)",
+    )
+
+
+def _seeder_config(args: argparse.Namespace) -> "SeederConfig":
+    from repro.index.seeding import SeederConfig
+
+    return SeederConfig(
+        seed_len=args.seed_len,
+        qgram_filter=args.qgram_filter,
+        filter_threshold=args.filter_threshold,
+    )
+
+
 def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     """The ``--parallel-*`` family (old flat spellings kept as aliases)."""
     g = p.add_argument_group(
@@ -381,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write a markdown run report here")
     _add_parallel_args(p_call)
     p_call.add_argument("-v", "--verbose", action="store_true")
+    _add_seeding_args(p_call)
     _add_band_args(p_call)
     _add_kernel_args(p_call)
     _add_metrics_arg(p_call)
@@ -394,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-o", "--output", default="alignments.sam")
     p_map.add_argument("--k", type=int, default=10)
     p_map.add_argument("--max-secondary", type=int, default=4)
+    _add_seeding_args(p_map)
     _add_band_args(p_map)
     _add_kernel_args(p_map)
     _add_metrics_arg(p_map)

@@ -1,14 +1,32 @@
-"""Seed clustering: read k-mer hits -> candidate mapping regions.
+"""Seed clustering: read seed hits -> candidate mapping regions.
 
-Each k-mer hit at genome position ``g`` for read offset ``r`` implies the
+Each seed hit at genome position ``g`` for read offset ``r`` implies the
 read would start at diagonal ``g - r``.  Hits are grouped by (strand,
-binned diagonal); a group with enough distinct supporting k-mers becomes a
+binned diagonal); a group with enough distinct supporting seeds becomes a
 :class:`CandidateRegion` handed to the Pair-HMM.  Both strands are always
 queried — the reverse-complemented read is seeded independently.
+
+Two upstream-pruning stages (both off by default) shrink the candidate
+list before any Pair-HMM runs:
+
+* **Long overlapping seeds** (SNAP): with ``SeederConfig.seed_len`` set,
+  reads are seeded with every overlapping ``seed_len``-mer instead of
+  ``k``-mers.  A 20-mer has ~4\\ :sup:`10` times fewer chance genome hits
+  than a 10-mer, so spurious diagonals almost vanish, while the read's
+  many overlapping seed offsets preserve error tolerance (an error only
+  kills the ``seed_len`` seeds covering it).
+* **q-gram filtration** (PEANUT / QUASAR): with ``qgram_filter`` on, each
+  surviving cluster is scored by how many of the read's distinct q-grams
+  occur in the implied reference window.  The q-gram lemma says a true
+  location with ``e`` errors still shares at least ``m - q + 1 - q*e``
+  q-grams with its window, while a random window shares almost none — so
+  a fractional threshold separates them cheaply, with plain set
+  intersection instead of dynamic programming.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +35,7 @@ from repro.errors import IndexError_
 from repro.genome.alphabet import reverse_complement
 from repro.genome.fastq import Read
 from repro.index.hashindex import GenomeIndex
-from repro.index.kmer import rolling_kmers
+from repro.index.kmer import MAX_K, rolling_kmers
 from repro.observability import current as metrics
 
 
@@ -28,17 +46,22 @@ class CandidateRegion:
     Attributes
     ----------
     start:
-        Estimated 0-based genome position of the read's first base.
+        Estimated 0-based genome position of the read's first base.  May
+        be negative (read overhangs the left genome edge) or up to
+        ``glen - 1`` (overhangs the right edge); the alignment window
+        builder N-pads the off-genome columns, so these are legitimate
+        values, not errors.
     strand:
         +1: the read as given aligns forward; -1: its reverse complement does.
     support:
-        Number of distinct read k-mers voting for this diagonal.
+        Number of distinct read seeds voting for this diagonal cluster.
     diagonal:
-        The winning (unclamped) seed diagonal ``g - r`` this candidate came
-        from.  ``start`` is this value clipped into the genome; the banded
-        kernels use ``diagonal`` to centre their band, so edge-clamped
-        candidates still band around the true seed path.  ``None`` on
-        hand-built candidates means "centre on ``start``".
+        The winning seed diagonal ``g - r`` this candidate came from.
+        ``start`` equals this value clipped into the always-some-overlap
+        range ``[-(read_len - 1), glen - 1]``; the banded kernels use
+        ``diagonal`` to centre their band, so even a clipped candidate
+        still bands around the true seed path.  ``None`` on hand-built
+        candidates means "centre on ``start``".
     """
 
     start: int
@@ -65,20 +88,42 @@ class SeederConfig:
     Attributes
     ----------
     min_support:
-        Minimum distinct k-mer hits on a diagonal to emit a candidate.
+        Minimum distinct seed hits on a diagonal cluster to emit a candidate.
     diagonal_slack:
-        Hits within this many bases of diagonal are merged (absorbs indels).
+        Hits within this many bases of the cluster's representative
+        diagonal are merged into it (absorbs indels).
     max_candidates:
         Keep at most this many candidates per read, best-supported first.
     step:
-        Query every ``step``-th read k-mer (1 = all; larger is faster and
+        Query every ``step``-th read seed (1 = all; larger is faster and
         mimics spaced sampling).
+    seed_len:
+        Seed width to query with, SNAP-style.  ``None`` (default) seeds at
+        the index's base ``k``; setting it requires the
+        :class:`~repro.index.hashindex.GenomeIndex` to have been built
+        with the same ``seed_len`` (the long-seed CSR table).
+    qgram_filter:
+        Enable the PEANUT-style q-gram filtration pass on clustered
+        candidates (default off — seeding is then byte-identical to the
+        historical behaviour).
+    qgram_q:
+        q-gram width for filtration.
+    filter_threshold:
+        Fraction of the read's distinct q-grams that must occur in the
+        candidate's reference window for it to survive.  The default 0.5
+        tolerates far more errors than the Illumina profile produces
+        (a 62 bp read keeps >= 0.5 of its 5-grams through ~5
+        substitutions), while random windows share only ~5-10%.
     """
 
     min_support: int = 2
     diagonal_slack: int = 3
     max_candidates: int = 16
     step: int = 1
+    seed_len: "int | None" = None
+    qgram_filter: bool = False
+    qgram_q: int = 5
+    filter_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -89,6 +134,61 @@ class SeederConfig:
             raise IndexError_("max_candidates must be >= 1")
         if self.step < 1:
             raise IndexError_("step must be >= 1")
+        if self.seed_len is not None and not 2 <= self.seed_len <= MAX_K:
+            raise IndexError_(
+                f"seed_len must be in [2, {MAX_K}], got {self.seed_len}"
+            )
+        if not 1 <= self.qgram_q <= MAX_K:
+            raise IndexError_(f"qgram_q must be in [1, {MAX_K}], got {self.qgram_q}")
+        if not 0.0 <= self.filter_threshold <= 1.0:
+            raise IndexError_(
+                f"filter_threshold must be in [0, 1], got {self.filter_threshold}"
+            )
+
+
+def cluster_diagonals(
+    udiags: np.ndarray, votes: np.ndarray, slack: int
+) -> "list[tuple[int, int]]":
+    """Cluster sorted unique diagonals into bounded-width groups.
+
+    First chain-splits at gaps wider than ``slack`` (as before), then
+    splits each chained run so every member diagonal lies within
+    ``slack`` of its cluster's *representative* (the highest-vote
+    diagonal, first on ties).  The second step is the fix for the
+    transitive-merge bug: a chain of diagonals each within ``slack`` of
+    the previous one used to collapse into a single cluster spanning far
+    more than ``slack``, mis-centering the band and inflating support
+    with votes the band could never reach.  For runs no wider than
+    ``slack`` (the overwhelmingly common case) both steps agree and the
+    output is identical to the historical clustering.
+
+    Returns ``(representative_diagonal, total_votes)`` pairs; votes of
+    each diagonal are attributed to exactly one cluster.
+    """
+    out: "list[tuple[int, int]]" = []
+    run_start = 0
+    for i in range(1, udiags.size):
+        if int(udiags[i]) - int(udiags[i - 1]) > slack:
+            _split_run(udiags[run_start:i], votes[run_start:i], slack, out)
+            run_start = i
+    _split_run(udiags[run_start:], votes[run_start:], slack, out)
+    return out
+
+
+def _split_run(
+    d: np.ndarray, v: np.ndarray, slack: int, out: "list[tuple[int, int]]"
+) -> None:
+    """Bound one chained run: peel off the best-supported window until done."""
+    while d.size:
+        j = int(np.argmax(v))  # first max — preserves historical tie-breaking
+        rep = int(d[j])
+        in_band = (d >= rep - slack) & (d <= rep + slack)
+        out.append((rep, int(v[in_band].sum())))
+        left = d < rep - slack
+        if left.any():
+            _split_run(d[left], v[left], slack, out)
+        right = d > rep + slack
+        d, v = d[right], v[right]
 
 
 class Seeder:
@@ -97,25 +197,38 @@ class Seeder:
     def __init__(self, index: GenomeIndex, config: SeederConfig | None = None) -> None:
         self.index = index
         self.config = config or SeederConfig()
+        want = self.config.seed_len
+        if want is not None and index.seed_len != want:
+            raise IndexError_(
+                f"SeederConfig.seed_len={want} but the index was built with "
+                f"seed_len={index.seed_len}; build the GenomeIndex with "
+                f"seed_len={want} (or clear the config knob)"
+            )
 
     def candidates(self, read: Read) -> list[CandidateRegion]:
         """All candidate regions for ``read``, both strands, best first.
 
-        Reads shorter than k yield no candidates.
+        Reads shorter than the seed width yield no candidates.
         """
         out: list[CandidateRegion] = []
         out.extend(self._one_strand(read.codes, strand=1))
         out.extend(self._one_strand(reverse_complement(read.codes), strand=-1))
         out.sort(key=lambda c: (-c.support, c.start, c.strand))
+        n_found = len(out)
         out = out[: self.config.max_candidates]
         reg = metrics()
         reg.inc("seed.reads")
-        reg.inc("seed.candidates", len(out))
+        # Pre-truncation count: `seed.candidates` is what seeding *found*;
+        # the max_candidates cap's effect is visible as candidates_dropped.
+        reg.inc("seed.candidates", n_found)
+        if n_found > len(out):
+            reg.inc("seed.candidates_dropped", n_found - len(out))
+        reg.observe("seed.candidates_per_read", float(len(out)))
         return out
 
     def _one_strand(self, codes: np.ndarray, strand: int) -> list[CandidateRegion]:
-        k = self.index.k
-        packed, valid = rolling_kmers(codes, k)
+        width = self.index.seed_width
+        packed, valid = rolling_kmers(codes, width)
         if packed.size == 0:
             return []
         cfg = self.config
@@ -124,7 +237,7 @@ class Seeder:
         offsets = offsets[keep]
         if offsets.size == 0:
             return []
-        hit_pos, qidx = self.index.lookup_flat(packed[offsets])
+        hit_pos, qidx = self.index.lookup_seeds_flat(packed[offsets])
         if hit_pos.size == 0:
             return []
         offs = offsets[qidx]
@@ -137,31 +250,74 @@ class Seeder:
         pair_diags = keys // span
         udiags, votes = np.unique(pair_diags, return_counts=True)
 
-        clusters: list[tuple[int, int]] = []  # (representative diag, votes)
-        cur_rep = int(udiags[0])
-        cur_best_votes = int(votes[0])
-        cur_total = int(votes[0])
-        prev = int(udiags[0])
-        for d, v in zip(udiags[1:].tolist(), votes[1:].tolist()):
-            if d - prev <= cfg.diagonal_slack:
-                cur_total += v
-                if v > cur_best_votes:
-                    cur_best_votes, cur_rep = v, d
-            else:
-                clusters.append((cur_rep, cur_total))
-                cur_rep, cur_best_votes, cur_total = d, v, v
-            prev = d
-        clusters.append((cur_rep, cur_total))
+        clusters = cluster_diagonals(udiags, votes, cfg.diagonal_slack)
+        clusters.sort()  # ascending diagonal, as the chain scan emitted them
 
-        out = []
+        m = int(codes.size)
         glen = len(self.index.reference)
-        for rep, total_votes in clusters:
-            if total_votes < cfg.min_support:
-                continue
-            start = min(max(rep, -(codes.size - 1)), glen - 1)
+        survivors = [(rep, tv) for rep, tv in clusters if tv >= cfg.min_support]
+        if cfg.qgram_filter and survivors:
+            survivors = self._qgram_filter(codes, survivors, glen)
+        out = []
+        for rep, total_votes in survivors:
+            # rep is provably within [-(m - width), glen - width] (it came
+            # from a genome hit), so this clip never fires in practice; it
+            # pins the documented contract that `start` always leaves the
+            # alignment window some genome overlap.
+            start = min(max(rep, -(m - 1)), glen - 1)
             out.append(
                 CandidateRegion(
                     start=start, strand=strand, support=total_votes, diagonal=rep
                 )
             )
         return out
+
+    def _qgram_filter(
+        self,
+        codes: np.ndarray,
+        clusters: "list[tuple[int, int]]",
+        glen: int,
+    ) -> "list[tuple[int, int]]":
+        """PEANUT-style filtration: keep clusters whose reference window
+        shares enough distinct q-grams with the read.
+
+        The window for a cluster at diagonal ``rep`` is the genome slice
+        the band would align against, widened by ``diagonal_slack`` on
+        each side and clamped to the genome (a negative Python slice start
+        would silently wrap to the genome's tail — the clamp is the
+        correctness guard for edge-overhanging candidates).
+        """
+        cfg = self.config
+        q = cfg.qgram_q
+        m = int(codes.size)
+        if m < q:
+            return clusters  # read too short to carry q-grams; filter is moot
+        packed, valid = rolling_kmers(codes, q)
+        read_q = np.unique(packed[valid])
+        if read_q.size == 0:
+            return clusters
+        ref_codes = self.index.reference.codes
+        reg = metrics()
+        kept: "list[tuple[int, int]]" = []
+        for rep, total_votes in clusters:
+            lo = max(0, rep - cfg.diagonal_slack)
+            hi = min(glen, rep + m + cfg.diagonal_slack)
+            window = ref_codes[lo:hi]
+            n_window_q = int(window.size) - q + 1
+            if n_window_q <= 0:
+                # Window too small to hold a single q-gram (candidate almost
+                # entirely off-genome): nothing to measure, drop it.
+                reg.inc("seed.filtered")
+                continue
+            wq_packed, wq_valid = rolling_kmers(window, q)
+            window_q = np.unique(wq_packed[wq_valid])
+            matches = int(np.isin(read_q, window_q, assume_unique=True).sum())
+            # An edge-clamped window can't contain all read q-grams no
+            # matter how perfect the overlap — scale the bar to capacity.
+            capacity = min(int(read_q.size), n_window_q)
+            needed = max(1, math.ceil(cfg.filter_threshold * capacity))
+            if matches >= needed:
+                kept.append((rep, total_votes))
+            else:
+                reg.inc("seed.filtered")
+        return kept

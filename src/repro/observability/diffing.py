@@ -49,6 +49,8 @@ _HIGHER_IS_BETTER = (
     "speedup",
     "rps",
     "reduction",
+    "recall",
+    "precision",
 )
 
 #: Name tokens marking a metric where *larger* is a regression.
@@ -58,6 +60,7 @@ _LOWER_IS_BETTER = (
     "latency",
     "bytes",
     "cells",
+    "candidates_per_read",
     "retries",
     "deaths",
     "timeouts",

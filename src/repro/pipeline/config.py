@@ -151,7 +151,10 @@ class PipelineConfig:
     Attributes
     ----------
     k:
-        Index mer-size (paper default 10).
+        Index mer-size (paper default 10).  With ``seeder.seed_len`` set,
+        the index additionally carries a long-seed table at that width and
+        seeding queries it instead (SNAP-style; see
+        :class:`repro.index.seeding.SeederConfig`).
     pad:
         Genome bases added on each side of a candidate window so the
         semi-global PHMM can slide and open edge gaps.
@@ -308,6 +311,12 @@ class PipelineConfig:
             raise ConfigError(
                 "phmm_dtype='float32' requires phmm_kernel='wavefront' "
                 "(the rowsweep kernels are float64-only)"
+            )
+        if self.seeder.seed_len is not None and self.seeder.seed_len <= self.k:
+            raise ConfigError(
+                f"seeder.seed_len={self.seeder.seed_len} must exceed k={self.k}: "
+                "the long-seed table is only worth building wider than the "
+                "base index (drop --seed-len to seed at k)"
             )
         if self.phmm_dtype == "float32" and self.alignment_mode == "global":
             raise ConfigError(

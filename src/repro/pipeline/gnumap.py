@@ -121,6 +121,11 @@ class GnumapSnp:
                 raise PipelineError(
                     f"supplied index has k={index.k}, config wants k={cfg.k}"
                 )
+            if index.seed_len != cfg.seeder.seed_len:
+                raise PipelineError(
+                    f"supplied index has seed_len={index.seed_len}, config "
+                    f"wants seed_len={cfg.seeder.seed_len}"
+                )
             if index.reference is not reference and len(index.reference) != len(
                 reference
             ):
@@ -133,6 +138,7 @@ class GnumapSnp:
                 reference,
                 k=cfg.k,
                 max_positions_per_kmer=cfg.max_index_positions_per_kmer,
+                seed_len=cfg.seeder.seed_len,
             )
         self.seeder = Seeder(self.index, cfg.seeder)
         self.caller = SNPCaller(cfg.caller)

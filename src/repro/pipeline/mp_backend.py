@@ -109,6 +109,7 @@ def _init_pool_worker(
     fault_plan: "FaultPlan | None" = None,
     trace_on: bool = False,
     n_masked_kmers: int = 0,
+    n_masked_long_kmers: int = 0,
 ) -> None:
     """Attach-mode initializer for :class:`PersistentPool` workers.
 
@@ -140,6 +141,13 @@ def _init_pool_worker(
         views["index_positions"],
         max_positions_per_kmer=config.max_index_positions_per_kmer,
         n_masked_kmers=n_masked_kmers,
+        # The long-seed table rides the same publication map when the
+        # parent's index carries one (seed_len configured).
+        seed_len=config.seeder.seed_len,
+        long_kmers=views.get("index_long_kmers"),
+        long_offsets=views.get("index_long_offsets"),
+        long_positions=views.get("index_long_positions"),
+        n_masked_long_kmers=n_masked_long_kmers,
     )
     pipe = GnumapSnp(reference, config, index=index)
     # Handles must stay alive as long as the views (closing unmaps the
@@ -232,8 +240,17 @@ def make_pool(pipe: GnumapSnp, n_workers: int) -> PersistentPool:
             "index_offsets": offsets,
             "index_positions": positions,
         }
+        if pipe.index.seed_len is not None:
+            long_kmers, long_offsets, long_positions = pipe.index.long_csr_arrays()
+            arrays["index_long_kmers"] = long_kmers
+            arrays["index_long_offsets"] = long_offsets
+            arrays["index_long_positions"] = long_positions
         initializer = _init_pool_worker
-        initargs = (reference.name,) + common + (pipe.index.n_masked_kmers,)
+        initargs = (
+            (reference.name,)
+            + common
+            + (pipe.index.n_masked_kmers, pipe.index.n_masked_long_kmers)
+        )
     else:
         initializer = _init_worker
         initargs = (np.asarray(reference.codes), reference.name) + common

@@ -148,6 +148,7 @@ def run_memory_spread(
     index = GenomeIndex(
         local_ref, k=config.k,
         max_positions_per_kmer=config.max_index_positions_per_kmer,
+        seed_len=config.seeder.seed_len,
     )
     seeder = Seeder(index, config.seeder)
     if calibration:
@@ -240,6 +241,7 @@ def run_hybrid(
     index = GenomeIndex(
         local_ref, k=config.k,
         max_positions_per_kmer=config.max_index_positions_per_kmer,
+        seed_len=config.seeder.seed_len,
     )
     seeder = Seeder(index, config.seeder)
     if calibration:

@@ -89,6 +89,77 @@ class TestRepeatMasking:
         assert idx.n_masked_kmers == 0
 
 
+class TestLongSeedTable:
+    def test_long_table_positions_findable(self):
+        ref, _ = simulate_genome(GenomeSpec(length=3000, n_repeats=0), seed=5)
+        idx = GenomeIndex(ref, k=10, seed_len=20)
+        assert idx.seed_width == 20 and idx.seed_len == 20
+        packed, valid = rolling_kmers(ref.codes, 20)
+        queries = np.nonzero(valid)[0][:25]
+        hits, qidx = idx.lookup_seeds_flat(packed[queries])
+        for i, qp in enumerate(queries):
+            assert qp in hits[qidx == i]
+
+    def test_no_long_table_falls_back_to_base(self):
+        ref, _ = simulate_genome(GenomeSpec(length=2000, n_repeats=0), seed=6)
+        idx = GenomeIndex(ref, k=10)
+        assert idx.seed_width == 10 and idx.seed_len is None
+        packed, _ = rolling_kmers(ref.codes, 10)
+        base = idx.lookup_flat(packed[:10])
+        seeds = idx.lookup_seeds_flat(packed[:10])
+        assert (base[0] == seeds[0]).all() and (base[1] == seeds[1]).all()
+        with pytest.raises(IndexError_):
+            idx.long_csr_arrays()
+
+    def test_seed_len_validation(self):
+        ref, _ = simulate_genome(GenomeSpec(length=2000, n_repeats=0), seed=6)
+        with pytest.raises(IndexError_):
+            GenomeIndex(ref, k=10, seed_len=10)  # must exceed k
+        with pytest.raises(IndexError_):
+            GenomeIndex(ref, k=10, seed_len=32)  # past MAX_K
+        with pytest.raises(IndexError_):
+            GenomeIndex(ref_from("ACGTACGTACGTACG"), k=10, seed_len=20)
+
+    def test_from_arrays_roundtrip_with_long_table(self):
+        ref, _ = simulate_genome(GenomeSpec(length=2500, n_repeats=0), seed=7)
+        built = GenomeIndex(ref, k=10, seed_len=20)
+        k1, o1, p1 = built.csr_arrays()
+        l1, lo1, lp1 = built.long_csr_arrays()
+        attached = GenomeIndex.from_arrays(
+            ref, 10, k1, o1, p1,
+            seed_len=20, long_kmers=l1, long_offsets=lo1, long_positions=lp1,
+        )
+        packed, valid = rolling_kmers(ref.codes, 20)
+        q = packed[np.nonzero(valid)[0][:30]]
+        a = built.lookup_seeds_flat(q)
+        b = attached.lookup_seeds_flat(q)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+        assert attached.nbytes() == built.nbytes()
+
+    def test_from_arrays_incomplete_long_triple_rejected(self):
+        ref, _ = simulate_genome(GenomeSpec(length=2500, n_repeats=0), seed=7)
+        built = GenomeIndex(ref, k=10, seed_len=20)
+        k1, o1, p1 = built.csr_arrays()
+        l1, lo1, lp1 = built.long_csr_arrays()
+        with pytest.raises(IndexError_):
+            GenomeIndex.from_arrays(ref, 10, k1, o1, p1, seed_len=20,
+                                    long_kmers=l1, long_offsets=lo1)
+        with pytest.raises(IndexError_):
+            GenomeIndex.from_arrays(ref, 10, k1, o1, p1, long_kmers=l1,
+                                    long_offsets=lo1, long_positions=lp1)
+
+    def test_long_table_masks_repeats_too(self):
+        ref = ref_from("A" * 200 + "ACGTACGTCCGGATTACAGGAGTC")
+        idx = GenomeIndex(ref, k=5, seed_len=21, max_positions_per_kmer=10)
+        assert idx.n_masked_long_kmers >= 1
+
+    def test_nbytes_includes_long_table(self):
+        ref, _ = simulate_genome(GenomeSpec(length=2000, n_repeats=0), seed=8)
+        base = GenomeIndex(ref, k=10).nbytes()
+        both = GenomeIndex(ref, k=10, seed_len=20).nbytes()
+        assert both > base
+
+
 class TestFootprint:
     def test_nbytes_positive_and_scales(self):
         small, _ = simulate_genome(GenomeSpec(length=1000, n_repeats=0), seed=3)

@@ -1,0 +1,115 @@
+"""Property tests: filtration never silently loses true candidates.
+
+The contract satellite to the q-gram filter: for reads simulated with
+planted SNPs and small indels *within the error model* (a handful of
+substitutions, indels no longer than the seeder's diagonal slack), any
+true-diagonal candidate that plain seeding finds must also survive the
+filtration pass at the default threshold.  Filtration may only remove
+candidates — and must not remove these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.fastq import Read
+from repro.genome.reference import Reference
+from repro.index.hashindex import GenomeIndex
+from repro.index.seeding import Seeder, SeederConfig
+
+GENOME_LEN = 4000
+READ_LEN = 62
+#: Error budget "within the error model": the Illumina profile averages
+#: ~1% substitutions per base (≈0.6 per 62 bp read); 4 is already a
+#: generous tail, and indels beyond the diagonal slack wouldn't cluster.
+MAX_SUBS = 4
+MAX_INDEL = 3
+
+_rng = np.random.default_rng(20120609)
+_GENOME = Reference(
+    _rng.integers(0, 4, GENOME_LEN).astype(np.uint8), name="prop"
+)
+_INDEX = GenomeIndex(_GENOME, k=10)
+_PLAIN = Seeder(_INDEX, SeederConfig())
+_FILTERED = Seeder(_INDEX, SeederConfig(qgram_filter=True))
+
+
+def _true_hits(cands, pos, slack=3):
+    return {
+        (c.band_diagonal, c.strand)
+        for c in cands
+        if c.strand == 1 and abs(c.band_diagonal - pos) <= slack
+    }
+
+
+@st.composite
+def corrupted_read(draw):
+    pos = draw(st.integers(0, GENOME_LEN - READ_LEN))
+    template = np.asarray(_GENOME.codes[pos : pos + READ_LEN]).copy()
+    # Planted substitutions (SNP-like mismatches against the reference).
+    n_subs = draw(st.integers(0, MAX_SUBS))
+    sub_sites = draw(
+        st.lists(
+            st.integers(0, READ_LEN - 1),
+            min_size=n_subs,
+            max_size=n_subs,
+            unique=True,
+        )
+    )
+    for s in sub_sites:
+        template[s] = (template[s] + draw(st.integers(1, 3))) % 4
+    # One small indel within the diagonal slack (0 = none).
+    indel = draw(st.integers(-MAX_INDEL, MAX_INDEL))
+    if indel > 0:  # insertion: novel bases enter the read
+        at = draw(st.integers(0, READ_LEN - 1))
+        ins = np.asarray(
+            draw(
+                st.lists(
+                    st.integers(0, 3), min_size=indel, max_size=indel
+                )
+            ),
+            dtype=np.uint8,
+        )
+        template = np.concatenate([template[:at], ins, template[at:]])[:READ_LEN]
+    elif indel < 0:  # deletion: read continues further along the genome
+        at = draw(st.integers(0, READ_LEN - 1))
+        tail = np.asarray(
+            _GENOME.codes[pos + READ_LEN : pos + READ_LEN - indel]
+        )
+        template = np.concatenate([template[:at], template[at - indel :], tail])
+        template = template[:READ_LEN]
+    read = Read(
+        name="prop",
+        codes=template.astype(np.uint8),
+        quals=np.full(template.size, 40, dtype=np.uint8),
+        true_pos=pos,
+    )
+    return read
+
+
+@settings(max_examples=150, deadline=None)
+@given(read=corrupted_read())
+def test_filtration_preserves_true_candidates(read):
+    plain_true = _true_hits(_PLAIN.candidates(read), read.true_pos)
+    filtered_true = _true_hits(_FILTERED.candidates(read), read.true_pos)
+    # Whatever true-diagonal candidates plain seeding finds, filtration
+    # at the default threshold must keep (no silent recall loss).
+    assert plain_true.issubset(filtered_true), (
+        f"filtration dropped true candidates: {plain_true - filtered_true}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(read=corrupted_read())
+def test_filtration_only_removes(read):
+    plain = {
+        (c.band_diagonal, c.strand, c.support)
+        for c in _PLAIN.candidates(read)
+    }
+    filtered = {
+        (c.band_diagonal, c.strand, c.support)
+        for c in _FILTERED.candidates(read)
+    }
+    assert filtered.issubset(plain)

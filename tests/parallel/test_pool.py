@@ -247,3 +247,41 @@ class TestCrashNet:
         proc, names = self._run("raise KeyboardInterrupt")
         assert proc.returncode != 0
         assert names and segments_on_disk(names) == []
+
+
+class TestLongSeedPublication:
+    def test_long_index_arrays_round_trip_through_pool(self, workload):
+        from repro.index.seeding import SeederConfig
+
+        cfg = PipelineConfig(
+            parallel=ParallelConfig(start_method="fork", autotune_chunks=False),
+            seeder=SeederConfig(seed_len=20, qgram_filter=True),
+        )
+        pipe = GnumapSnp(workload.reference, cfg)
+        serial, _ = pipe.map_reads(workload.reads)
+        pool = make_pool(pipe, 2)
+        try:
+            published = set(pool._bundle.specs)
+            assert {
+                "index_long_kmers",
+                "index_long_offsets",
+                "index_long_positions",
+            } <= published
+            parallel, _ = map_reads_multiprocessing(
+                pipe, workload.reads, 2, pool=pool
+            )
+        finally:
+            pool.close()
+        # Workers rebuilt the same long-seed index from shared views;
+        # chunked merges reorder float sums, so compare to kernel precision.
+        np.testing.assert_allclose(
+            parallel.snapshot(), serial.snapshot(), rtol=1e-5, atol=1e-8
+        )
+
+    def test_plain_config_publishes_no_long_arrays(self, workload):
+        pipe = GnumapSnp(workload.reference, pool_config())
+        pool = make_pool(pipe, 2)
+        try:
+            assert not any("long" in key for key in pool._bundle.specs)
+        finally:
+            pool.close()

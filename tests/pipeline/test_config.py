@@ -169,3 +169,28 @@ class TestDeprecatedFlatKnobs:
             cfg = PipelineConfig(parallel=ParallelConfig(workers=2))
             assert cfg.parallel.workers == 2
             assert cfg.parallel.chunk_timeout == 120.0
+
+
+class TestSeederKnobs:
+    def test_seed_len_must_exceed_k(self):
+        from repro.index.seeding import SeederConfig
+
+        with pytest.raises(ConfigError, match="seed_len"):
+            PipelineConfig(k=10, seeder=SeederConfig(seed_len=10))
+        with pytest.raises(ConfigError, match="seed_len"):
+            PipelineConfig(k=12, seeder=SeederConfig(seed_len=11))
+
+    def test_valid_seed_len_accepted(self):
+        from repro.index.seeding import SeederConfig
+
+        cfg = PipelineConfig(k=10, seeder=SeederConfig(seed_len=20))
+        assert cfg.seeder.seed_len == 20
+
+    def test_filter_knobs_validated_at_source(self):
+        from repro.errors import IndexError_
+        from repro.index.seeding import SeederConfig
+
+        with pytest.raises(IndexError_):
+            SeederConfig(filter_threshold=1.5)
+        with pytest.raises(IndexError_):
+            SeederConfig(qgram_q=0)

@@ -148,3 +148,98 @@ class TestConfigurations:
         pipe = GnumapSnp(ref, PipelineConfig())
         _acc, stats = pipe.map_reads(reads)
         assert stats.n_mapped == 5
+
+
+class TestEdgeCandidates:
+    """Regression: candidates whose alignment windows overhang the genome
+    (negative ``start`` on the left edge, ``start`` near ``glen`` on the
+    right) must slice cleanly — N-padded off-genome columns, band centred
+    on the true seed diagonal — in every band mode."""
+
+    @pytest.fixture(scope="class")
+    def edge_setup(self, workload):
+        ref = workload.reference
+        junk = np.asarray([0, 1, 2, 3] * 5, dtype=np.uint8)
+        left = Read(
+            "left_overhang",
+            np.concatenate([junk, np.asarray(ref.codes[:42])]),
+            np.full(62, 40, dtype=np.uint8),
+        )
+        right = Read(
+            "right_overhang",
+            np.concatenate([np.asarray(ref.codes[-42:]), junk]),
+            np.full(62, 40, dtype=np.uint8),
+        )
+        return ref, left, right
+
+    @pytest.mark.parametrize("band_mode", ["off", "fixed", "adaptive"])
+    def test_overhanging_reads_map_in_all_band_modes(self, edge_setup, band_mode):
+        ref, left, right = edge_setup
+        pipe = GnumapSnp(ref, PipelineConfig(band_mode=band_mode))
+        acc, stats = pipe.map_reads([left, right])
+        assert stats.n_mapped == 2
+        ev = acc.snapshot()
+        glen = len(ref)
+        # Evidence lands where the overlapping halves align, nowhere off-end.
+        assert ev[:42].sum() > 0, "left-overhang evidence missing"
+        assert ev[glen - 42 :].sum() > 0, "right-overhang evidence missing"
+
+    @pytest.mark.parametrize("band_mode", ["off", "fixed", "adaptive"])
+    def test_overhang_with_filtration(self, edge_setup, band_mode):
+        ref, left, right = edge_setup
+        from repro.index.seeding import SeederConfig
+
+        pipe = GnumapSnp(
+            ref,
+            PipelineConfig(
+                band_mode=band_mode,
+                seeder=SeederConfig(qgram_filter=True),
+            ),
+        )
+        _acc, stats = pipe.map_reads([left, right])
+        assert stats.n_mapped == 2
+
+    def test_clamped_start_keeps_band_centred(self, workload):
+        # A hand-built candidate with start clipped away from its diagonal:
+        # the batch center must follow the diagonal, not the clamp.
+        from repro.index.seeding import CandidateRegion
+
+        cand = CandidateRegion(start=0, strand=1, support=3, diagonal=-7)
+        cfg = PipelineConfig()
+        assert cand.band_diagonal == -7
+        assert cfg.pad + (cand.band_diagonal - cand.start) == cfg.pad - 7
+
+
+class TestSeedLenThreading:
+    def test_pipeline_builds_long_table_from_config(self, workload):
+        from repro.index.seeding import SeederConfig
+
+        pipe = GnumapSnp(
+            workload.reference,
+            PipelineConfig(seeder=SeederConfig(seed_len=20)),
+        )
+        assert pipe.index.seed_len == 20
+        assert pipe.seeder.index is pipe.index
+
+    def test_supplied_index_seed_len_mismatch_rejected(self, workload):
+        from repro.index.hashindex import GenomeIndex
+        from repro.index.seeding import SeederConfig
+
+        plain = GenomeIndex(workload.reference, k=10)
+        with pytest.raises(PipelineError):
+            GnumapSnp(
+                workload.reference,
+                PipelineConfig(seeder=SeederConfig(seed_len=20)),
+                index=plain,
+            )
+
+    def test_filtered_config_calls_match_default(self, workload, result):
+        from repro.index.seeding import SeederConfig
+
+        filt = GnumapSnp(
+            workload.reference,
+            PipelineConfig(seeder=SeederConfig(seed_len=20, qgram_filter=True)),
+        ).run(workload.reads)
+        assert {(s.pos, s.alt_name) for s in filt.snps} == {
+            (s.pos, s.alt_name) for s in result.snps
+        }

@@ -135,3 +135,34 @@ class TestSimulateCallEvaluate:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_seeding_flags(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main([
+            "simulate", "--scale", "tiny", "--seed", "11",
+            "--reference", str(ref), "--reads", str(reads),
+            "--truth", str(tmp_path / "t.tsv"),
+        ])
+        out = tmp_path / "snps.tsv"
+        rc = main([
+            "call", str(ref), str(reads), "-o", str(out),
+            "--seed-len", "20", "--qgram-filter", "--filter-threshold", "0.6",
+        ])
+        assert rc == 0
+        assert out.exists()
+
+    def test_seed_len_not_exceeding_k_rejected(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main([
+            "simulate", "--scale", "tiny", "--seed", "11",
+            "--reference", str(ref), "--reads", str(reads),
+            "--truth", str(tmp_path / "t.tsv"),
+        ])
+        rc = main([
+            "call", str(ref), str(reads), "-o", str(tmp_path / "o.tsv"),
+            "--seed-len", "10",
+        ])
+        assert rc == 2
+        assert "seed_len" in capsys.readouterr().err
