@@ -1,26 +1,36 @@
-"""End-to-end pipeline benchmark: serial vs workers=2, plus tracing cost.
+"""End-to-end pipeline benchmark: serial vs worker scaling, plus
+tracing and live-telemetry cost.
 
 Not a pytest-benchmark target (single run each way, like the banded
 pipeline comparison in ``bench_kernels.py``): the payload is the
 throughput ledger — wall seconds, reads/sec and DP cells/sec for the
-serial and two-worker pipelines at a fixed seed — persisted as
-``BENCH_pipeline.json`` for CI to publish and for ``repro metrics diff``
-to gate against.
+serial pipeline and the worker scaling curve at a fixed seed —
+persisted as ``BENCH_pipeline.json`` for CI to publish and for
+``repro metrics diff`` to gate against.
 
-The two-worker lane runs over the Engine's **persistent shared-memory
+The worker lanes run over the Engine's **persistent shared-memory
 pool**: a cold call spins the fleet up and publishes the segments, then
 the measured call streams chunks over the warm fleet — the number CI
 gates (speedup >= 1.7x at workers=2) is the steady-state one users see
-from the second call on.  The gate only applies on multi-core machines
-(``cpu_count`` is recorded in the payload); on one core the lane still
-runs and pins output identity, but real speedup is unmeasurable.
+from the second call on.  A ``workers=4`` lane extends the scaling
+curve on machines with at least four cores.  The gates only apply on
+multi-core machines (``cpu_count`` is recorded in the payload); on one
+core the lanes still run and pin output identity, but real speedup is
+unmeasurable.
 
-The tracing cost contract rides along: the flight recorder's hooks are
-permanently compiled into the hot paths, so the disabled path must stay
-under 2% of pipeline wall time (DESIGN.md §11).  The bench measures the
-actual disabled-hook cost against the events a traced run records and
-asserts the budget, so the bound is checked at pipeline scale, not just
-in the microbenchmark unit test.
+Two observability cost contracts ride along:
+
+* **Tracing** — the flight recorder's hooks are permanently compiled
+  into the hot paths, so the disabled path must stay under 2% of
+  pipeline wall time (DESIGN.md §11).  The bench measures the actual
+  disabled-hook cost against the events a traced run records and
+  asserts the budget at pipeline scale, not just in the microbenchmark
+  unit test.
+* **Live telemetry** — the sideband publisher + aggregator
+  (DESIGN.md §16) is off by default and costs nothing then; when
+  enabled it must stay under 2% of the warm two-worker wall time.  The
+  telemetry lane reruns the warm workers=2 pipeline with the plane
+  live and asserts the budget where parallel hardware exists.
 """
 
 from __future__ import annotations
@@ -28,14 +38,19 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import replace
 
 from conftest import OUTPUT_DIR, record
 
 import repro.observability.trace as trace
 from repro.api import Engine
 from repro.observability import scope
-from repro.pipeline.config import PipelineConfig
+from repro.pipeline.config import PipelineConfig, TelemetryConfig
 from repro.pipeline.gnumap import GnumapSnp
+
+#: Publisher interval for the telemetry lane: fast enough that several
+#: deltas land inside the measured call, slow enough to be realistic.
+TELEMETRY_INTERVAL = 0.25
 
 
 def _dp_cells(counters) -> int:
@@ -59,6 +74,7 @@ def _lane(calls, wall: float, counters, n_reads: int) -> dict:
 def test_pipeline_serial_vs_workers(scaling_workload):
     wl = scaling_workload
     config = PipelineConfig()
+    cpu_count = os.cpu_count() or 1
 
     def run(engine=None):
         with scope() as reg:
@@ -73,15 +89,60 @@ def test_pipeline_serial_vs_workers(scaling_workload):
         return calls, wall, snap
 
     serial_calls, serial_wall, serial_snap = run()
-    with Engine(wl.reference, config, workers=2) as engine:
-        # Cold call: fleet spawn + segment publish + first chunk round.
-        cold_calls, cold_wall, _ = run(engine)
-        # Steady state: the warm fleet users see from the second call on.
-        mp_calls, mp_wall, mp_snap = run(engine)
-        assert engine._pool is not None and engine._pool.runs == 2
-        shm_bytes = engine._pool.shm_bytes
-    assert cold_calls == serial_calls, "workers=2 (cold) changed the SNP output"
-    assert mp_calls == serial_calls, "workers=2 changed the SNP output"
+
+    # Worker scaling curve over the warm persistent pool.  workers=2 is
+    # the acceptance lane; workers=4 extends the curve where the cores
+    # exist (skipping it on smaller machines keeps the ledger honest —
+    # oversubscribed "speedup" numbers would only mislead it).
+    worker_lanes: "dict[int, dict]" = {}
+    for n_workers in (2, 4):
+        if n_workers > 2 and cpu_count < 4:
+            continue
+        with Engine(wl.reference, config, workers=n_workers) as engine:
+            # Cold call: fleet spawn + segment publish + first chunks.
+            cold_calls, cold_wall, _ = run(engine)
+            # Steady state: the warm fleet users see from the second
+            # call on.
+            mp_calls, mp_wall, mp_snap = run(engine)
+            assert engine._pool is not None and engine._pool.runs == 2
+            shm_bytes = engine._pool.shm_bytes
+        assert cold_calls == serial_calls, (
+            f"workers={n_workers} (cold) changed the SNP output"
+        )
+        assert mp_calls == serial_calls, (
+            f"workers={n_workers} changed the SNP output"
+        )
+        worker_lanes[n_workers] = {
+            **_lane(mp_calls, mp_wall, mp_snap.counters, wl.n_reads),
+            "speedup": serial_wall / mp_wall,
+            "cold_wall_seconds": cold_wall,
+            "pool_shm_bytes": shm_bytes,
+        }
+    workers2_wall = worker_lanes[2]["wall_seconds"]
+
+    # Telemetry lane: the same warm workers=2 pipeline with the live
+    # plane running (publisher threads in every worker, aggregator in
+    # the parent; no HTTP endpoint — port=None — so the lane prices the
+    # sideband itself, not socket churn).
+    telem_config = replace(
+        config,
+        telemetry=TelemetryConfig(
+            enabled=True, interval=TELEMETRY_INTERVAL, port=None
+        ),
+    )
+    with Engine(wl.reference, telem_config, workers=2) as engine:
+        telem_cold_calls, _, _ = run(engine)
+        telem_calls, telem_wall, _ = run(engine)
+        live = engine.telemetry.live_snapshot()
+        telem_deltas = int(live.counter("obs.telemetry_deltas"))
+        telem_decode_errors = int(live.counter("obs.telemetry_decode_errors"))
+    assert telem_cold_calls == serial_calls, "telemetry changed the SNP output"
+    assert telem_calls == serial_calls, "telemetry changed the SNP output"
+    assert telem_deltas > 0, "telemetry lane ran but no deltas arrived"
+    assert telem_decode_errors == 0
+    telemetry_overhead_pct = (
+        100.0 * (telem_wall - workers2_wall) / workers2_wall
+    )
 
     # Traced serial run: how many events does a real pipeline emit, and
     # what does recording them cost?
@@ -109,43 +170,56 @@ def test_pipeline_serial_vs_workers(scaling_workload):
         "serial pipeline wall — over the 2% budget"
     )
 
-    speedup = serial_wall / mp_wall
-    cpu_count = os.cpu_count() or 1
     payload = {
         "workload": {"reads": wl.n_reads, "genome_bp": len(wl.reference)},
         "cpu_count": cpu_count,
         "serial": _lane(serial_calls, serial_wall, serial_snap.counters, wl.n_reads),
-        "workers2": {
-            **_lane(mp_calls, mp_wall, mp_snap.counters, wl.n_reads),
-            "speedup": speedup,
-            "cold_wall_seconds": cold_wall,
-            "pool_shm_bytes": shm_bytes,
-        },
+        "workers2": worker_lanes[2],
         "tracing": {
             "events_recorded": n_events,
             "enabled_overhead_pct": enabled_overhead_pct,
             "disabled_overhead_pct": disabled_overhead_pct,
         },
-        "calls_identical": mp_calls == serial_calls,
+        "telemetry": {
+            "wall_seconds": telem_wall,
+            "interval_seconds": TELEMETRY_INTERVAL,
+            "deltas": telem_deltas,
+            "overhead_pct": telemetry_overhead_pct,
+        },
+        "calls_identical": telem_calls == serial_calls,
     }
+    if 4 in worker_lanes:
+        payload["workers4"] = worker_lanes[4]
     OUTPUT_DIR.mkdir(exist_ok=True)
     with open(OUTPUT_DIR / "BENCH_pipeline.json", "w") as fh:
         json.dump(payload, fh, indent=2)
+    curve = " | ".join(
+        f"workers={n}: {wl.n_reads / lane['wall_seconds']:,.0f} reads/s "
+        f"(speedup {lane['speedup']:.2f}x, cold "
+        f"{lane['cold_wall_seconds']:.2f}s)"
+        for n, lane in sorted(worker_lanes.items())
+    )
     record(
         "Pipeline throughput",
         f"serial: {wl.n_reads / serial_wall:,.0f} reads/s "
         f"({_dp_cells(serial_snap.counters) / serial_wall:,.0f} DP cells/s) | "
-        f"workers=2 warm pool: {wl.n_reads / mp_wall:,.0f} reads/s "
-        f"(speedup {speedup:.2f}x, cold {cold_wall:.2f}s, "
-        f"{cpu_count} cpu) | "
+        f"{curve} | {cpu_count} cpu | "
         f"tracing: {n_events:,} events, enabled +{enabled_overhead_pct:.1f}%, "
         f"disabled hooks {disabled_overhead_pct:.3f}% (<2% budget) | "
-        f"calls identical: {mp_calls == serial_calls}",
+        f"telemetry: {telem_deltas} deltas, "
+        f"{telemetry_overhead_pct:+.2f}% (<2% budget) | "
+        f"calls identical: {telem_calls == serial_calls}",
     )
     if cpu_count >= 2:
-        # The acceptance gate, enforced where parallel hardware exists:
-        # warm-pool two-worker mapping must beat serial by 1.7x.
+        # The acceptance gates, enforced where parallel hardware exists:
+        # warm-pool two-worker mapping must beat serial by 1.7x, and the
+        # live telemetry plane must cost under 2% of that warm wall.
+        speedup = worker_lanes[2]["speedup"]
         assert speedup >= 1.7, (
             f"warm-pool workers=2 speedup {speedup:.2f}x is under the "
             f"1.7x bar on a {cpu_count}-core machine"
+        )
+        assert telemetry_overhead_pct < 2.0, (
+            f"live telemetry cost {telemetry_overhead_pct:.2f}% of the "
+            "warm workers=2 wall — over the 2% budget"
         )

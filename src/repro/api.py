@@ -51,6 +51,8 @@ from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult
 from repro.util.timers import TimerRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.livestream import TelemetryAggregator
+    from repro.observability.promexport import PrometheusEndpoint
     from repro.parallel.pool import PersistentPool
 
 #: Sentinel distinguishing "kwarg not passed" from an explicit value, so the
@@ -140,6 +142,11 @@ class Engine:
         self._timers = TimerRegistry()
         self._pool: "PersistentPool | None" = None
         self._pool_flags: "tuple | None" = None
+        self._telemetry: "TelemetryAggregator | None" = None
+        self._endpoint: "PrometheusEndpoint | None" = None
+        if self.config.telemetry.enabled:
+            # Eager, so telemetry_url is scrapeable before the first run.
+            self._ensure_telemetry()
 
     @classmethod
     def from_fasta(
@@ -184,14 +191,68 @@ class Engine:
             self._teardown_pool()
         self._workers = value
 
+    @property
+    def telemetry(self) -> "TelemetryAggregator | None":
+        """The live telemetry aggregator (None when telemetry is off)."""
+        return self._telemetry
+
+    @property
+    def telemetry_url(self) -> "str | None":
+        """The Prometheus ``/metrics`` URL (None when no endpoint is live)."""
+        if self._endpoint is None:
+            return None
+        return self._endpoint.url
+
+    def _ensure_telemetry(self) -> "TelemetryAggregator | None":
+        """The live aggregator (plus endpoint), building them on demand.
+
+        Returns ``None`` when ``config.telemetry.enabled`` is off — the
+        telemetry plane then costs nothing: no thread, no socket, no
+        sideband pipes, and workers skip the publisher entirely.
+        """
+        cfg = self.config.telemetry
+        if not cfg.enabled:
+            return None
+        if self._telemetry is None:
+            from repro.observability.livestream import TelemetryAggregator
+
+            self._telemetry = TelemetryAggregator(
+                interval=cfg.interval, stall_after=cfg.stall_after
+            )
+            self._telemetry.start()
+        if self._endpoint is None and cfg.port is not None:
+            from repro.observability.promexport import (
+                PrometheusEndpoint,
+                render_telemetry,
+            )
+
+            aggregator = self._telemetry
+            self._endpoint = PrometheusEndpoint(
+                lambda: render_telemetry(aggregator),
+                host=cfg.host,
+                port=cfg.port,
+            )
+            self._endpoint.start()
+        return self._telemetry
+
     def close(self) -> None:
-        """Release the worker pool and its shared-memory segments.
+        """Release the worker pool, shared-memory segments and telemetry.
 
         Idempotent, and the engine stays usable afterwards — the next
-        parallel call simply builds a fresh pool.  Serial state
-        (accumulator, index) is untouched; use :meth:`reset` for that.
+        parallel call simply builds a fresh pool (and, with telemetry
+        enabled, a fresh aggregator/endpoint).  Serial state (accumulator,
+        index) is untouched; use :meth:`reset` for that.
         """
+        # Pool first so workers stop publishing before the aggregator and
+        # endpoint go away; endpoint before aggregator so no scrape races
+        # a closing aggregator.
         self._teardown_pool()
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
+        if self._telemetry is not None:
+            self._telemetry.close()
+            self._telemetry = None
 
     def __enter__(self) -> "Engine":
         return self
@@ -238,7 +299,9 @@ class Engine:
         if self._pool is not None and (self._pool.closed or self._pool_flags != flags):
             self._teardown_pool()
         if self._pool is None:
-            self._pool = make_pool(self._pipeline, n_workers)
+            self._pool = make_pool(
+                self._pipeline, n_workers, telemetry=self._ensure_telemetry()
+            )
             self._pool_flags = flags
         return self._pool
 

@@ -12,6 +12,9 @@ Four subcommands cover the full workflow on files:
     posterior-weight mapping qualities.
 ``evaluate``
     Score a SNP TSV against a truth catalog TSV.
+``top``
+    Live terminal dashboard over a running ``call --telemetry``
+    endpoint: per-worker heartbeats, rates and stall flags.
 ``experiments``
     Regenerate one of the paper's tables/figures at a chosen scale.
 ``metrics diff``
@@ -62,7 +65,11 @@ def _cmd_call(args: argparse.Namespace) -> int:
     from repro.api import Engine
     from repro.calling.caller import CallerConfig
     from repro.genome.fastq import read_fastq
-    from repro.pipeline.config import ParallelConfig, PipelineConfig
+    from repro.pipeline.config import (
+        ParallelConfig,
+        PipelineConfig,
+        TelemetryConfig,
+    )
 
     config = PipelineConfig(
         k=args.k,
@@ -84,10 +91,17 @@ def _cmd_call(args: argparse.Namespace) -> int:
         caller=CallerConfig(ploidy=args.ploidy, alpha=args.alpha,
                             method=args.method, fdr=args.fdr),
         seeder=_seeder_config(args),
+        telemetry=TelemetryConfig(
+            enabled=args.telemetry,
+            interval=args.telemetry_interval,
+            port=args.telemetry_port,
+        ),
     )
     args._config = config
     reads = read_fastq(args.reads)
     with Engine.from_fasta(args.reference, config) as engine:
+        if engine.telemetry_url is not None:
+            print(f"telemetry: {engine.telemetry_url}", file=sys.stderr)
         result = engine.run(reads)
     n = result.write_tsv(args.output)
     print(
@@ -192,6 +206,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = module.run(scale=args.scale, seed=args.seed)
     print(module.format(rows))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.observability import run_top
+
+    url = args.url
+    if "://" not in url:
+        # Accept bare host:port and :port shorthands for the common case.
+        if url.startswith(":"):
+            url = "127.0.0.1" + url
+        if ":" not in url:
+            raise ReproError(
+                f"endpoint {args.url!r} needs a port (e.g. localhost:9099)"
+            )
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    iterations = 1 if args.once else args.iterations
+    return run_top(url, interval=args.interval, iterations=iterations)
 
 
 def _cmd_metrics_diff(args: argparse.Namespace) -> int:
@@ -384,6 +417,35 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group(
+        "live telemetry",
+        "in-flight worker metrics over a Prometheus endpoint (watch with "
+        "`repro top URL`); never changes call results",
+    )
+    g.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream live worker metrics and serve a Prometheus /metrics "
+        "endpoint for the duration of the run (URL printed to stderr)",
+    )
+    g.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="bind the telemetry endpoint to this 127.0.0.1 port "
+        "(default: 0 = pick an ephemeral port)",
+    )
+    g.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="worker publish period in seconds (default: 1.0)",
+    )
+
+
 def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--sanitize",
@@ -428,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--report", default=None,
                         help="also write a markdown run report here")
     _add_parallel_args(p_call)
+    _add_telemetry_args(p_call)
     p_call.add_argument("-v", "--verbose", action="store_true")
     _add_seeding_args(p_call)
     _add_band_args(p_call)
@@ -465,6 +528,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(p_exp)
     _add_sanitize_arg(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a run's telemetry endpoint",
+    )
+    p_top.add_argument(
+        "url",
+        help="telemetry endpoint from `repro call --telemetry` "
+        "(URL, host:port or :port; /metrics is appended if missing)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="refresh period in seconds (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="scrape and render a single frame, then exit",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_metrics = sub.add_parser(
         "metrics", help="inspect and compare exported metrics JSON"

@@ -26,7 +26,6 @@ list before any Pair-HMM runs:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -204,6 +203,20 @@ class Seeder:
                 f"seed_len={index.seed_len}; build the GenomeIndex with "
                 f"seed_len={want} (or clear the config knob)"
             )
+        self._ref_qgrams: "tuple[np.ndarray, np.ndarray] | None" = None
+
+    def _reference_qgrams(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Genome-wide ``(packed, valid)`` q-gram table, built once.
+
+        ``rolling_kmers`` is purely positional, so the q-grams of any
+        window ``ref[lo:hi]`` are exactly rows ``lo .. hi - q`` of this
+        table — every per-cluster window recompute collapses to a slice.
+        """
+        if self._ref_qgrams is None:
+            self._ref_qgrams = rolling_kmers(
+                self.index.reference.codes, self.config.qgram_q
+            )
+        return self._ref_qgrams
 
     def candidates(self, read: Read) -> list[CandidateRegion]:
         """All candidate regions for ``read``, both strands, best first.
@@ -283,9 +296,13 @@ class Seeder:
 
         The window for a cluster at diagonal ``rep`` is the genome slice
         the band would align against, widened by ``diagonal_slack`` on
-        each side and clamped to the genome (a negative Python slice start
-        would silently wrap to the genome's tail — the clamp is the
-        correctness guard for edge-overhanging candidates).
+        each side and clamped to the genome.  All clusters are scored in
+        one vectorised pass against the Seeder's cached genome-wide
+        q-gram table (:meth:`_reference_qgrams`): the windows' q-gram
+        rows are gathered with a repeat/arange index, matched against the
+        read's sorted distinct q-grams by ``searchsorted``, and
+        de-duplicated per window with unique ``(window, read-rank)`` keys
+        — no per-cluster Python loop, no per-window ``rolling_kmers``.
         """
         cfg = self.config
         q = cfg.qgram_q
@@ -296,28 +313,49 @@ class Seeder:
         read_q = np.unique(packed[valid])
         if read_q.size == 0:
             return clusters
-        ref_codes = self.index.reference.codes
+        ref_packed, ref_valid = self._reference_qgrams()
         reg = metrics()
-        kept: "list[tuple[int, int]]" = []
-        for rep, total_votes in clusters:
-            lo = max(0, rep - cfg.diagonal_slack)
-            hi = min(glen, rep + m + cfg.diagonal_slack)
-            window = ref_codes[lo:hi]
-            n_window_q = int(window.size) - q + 1
-            if n_window_q <= 0:
-                # Window too small to hold a single q-gram (candidate almost
-                # entirely off-genome): nothing to measure, drop it.
-                reg.inc("seed.filtered")
-                continue
-            wq_packed, wq_valid = rolling_kmers(window, q)
-            window_q = np.unique(wq_packed[wq_valid])
-            matches = int(np.isin(read_q, window_q, assume_unique=True).sum())
-            # An edge-clamped window can't contain all read q-grams no
-            # matter how perfect the overlap — scale the bar to capacity.
-            capacity = min(int(read_q.size), n_window_q)
-            needed = max(1, math.ceil(cfg.filter_threshold * capacity))
-            if matches >= needed:
-                kept.append((rep, total_votes))
-            else:
-                reg.inc("seed.filtered")
-        return kept
+        reps = np.array([rep for rep, _ in clusters], dtype=np.int64)
+        lo = np.maximum(0, reps - cfg.diagonal_slack)
+        hi = np.minimum(glen, reps + m + cfg.diagonal_slack)
+        # Number of q-gram start positions each window holds; <= 0 means
+        # the window can't hold one q-gram (candidate almost entirely
+        # off-genome): nothing to measure, drop it.
+        n_window_q = hi - lo - q + 1
+        measurable = n_window_q > 0
+        idx_m = np.flatnonzero(measurable)
+        lengths = n_window_q[idx_m]
+        # Gather every measurable window's q-gram rows from the global
+        # table: position j of window w is ref row lo[w] + j.
+        total = int(lengths.sum())
+        win_id = np.repeat(np.arange(idx_m.size), lengths)
+        bounds = np.concatenate(([0], np.cumsum(lengths)))
+        rows = (
+            np.arange(total)
+            - np.repeat(bounds[:-1], lengths)
+            + np.repeat(lo[idx_m], lengths)
+        )
+        vals = ref_packed[rows]
+        # Membership of each window q-gram in the read's sorted distinct
+        # q-grams; rank doubles as a stable per-read q-gram identifier.
+        rank = np.searchsorted(read_q, vals)
+        inb = rank < read_q.size
+        hit = ref_valid[rows] & inb
+        hit[hit] &= read_q[rank[hit]] == vals[hit]
+        # Distinct matched q-grams per window: unique (window, rank) keys.
+        keys = np.unique(win_id[hit] * np.int64(read_q.size) + rank[hit])
+        matches = np.bincount(
+            keys // np.int64(read_q.size), minlength=idx_m.size
+        )
+        # An edge-clamped window can't contain all read q-grams no matter
+        # how perfect the overlap — scale the bar to capacity.
+        capacity = np.minimum(read_q.size, lengths)
+        needed = np.maximum(
+            1, np.ceil(cfg.filter_threshold * capacity).astype(np.int64)
+        )
+        keep = np.zeros(reps.size, dtype=bool)
+        keep[idx_m] = matches >= needed
+        n_dropped = int(reps.size - keep.sum())
+        if n_dropped:
+            reg.inc("seed.filtered", n_dropped)
+        return [pair for pair, ok in zip(clusters, keep) if ok]

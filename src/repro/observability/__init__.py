@@ -21,6 +21,13 @@ perf-regression gate.
 """
 
 from repro.observability.chrometrace import to_chrome_trace, write_chrome_trace
+from repro.observability.dashboard import (
+    Exposition,
+    fetch_exposition,
+    parse_exposition,
+    render_top,
+    run_top,
+)
 from repro.observability.diffing import (
     DiffEntry,
     diff_documents,
@@ -38,7 +45,19 @@ from repro.observability.export import (
     write_metrics_json,
 )
 from repro.observability.histogram import Histogram
+from repro.observability.livestream import (
+    TelemetryAggregator,
+    WorkerView,
+    start_publisher,
+)
 from repro.observability.manifest import MANIFEST_SCHEMA, run_manifest
+from repro.observability.promexport import (
+    PrometheusEndpoint,
+    Series,
+    prometheus_name,
+    render_telemetry,
+    to_prometheus,
+)
 from repro.observability.registry import (
     MetricsRegistry,
     current,
@@ -54,26 +73,39 @@ __all__ = [
     "SCHEMA",
     "SCHEMA_V1",
     "DiffEntry",
+    "Exposition",
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PrometheusEndpoint",
+    "Series",
+    "TelemetryAggregator",
+    "WorkerView",
     "current",
     "current_path",
     "detached",
     "diff_documents",
     "diff_files",
+    "fetch_exposition",
     "format_diff",
     "format_metrics_report",
     "global_registry",
     "has_regressions",
     "merge_snapshots",
+    "parse_exposition",
+    "prometheus_name",
     "read_metrics_json",
+    "render_telemetry",
+    "render_top",
     "run_manifest",
+    "run_top",
     "scope",
     "span",
+    "start_publisher",
     "to_chrome_trace",
     "to_json",
     "to_json_dict",
+    "to_prometheus",
     "use",
     "write_chrome_trace",
     "write_metrics_json",

@@ -1,0 +1,338 @@
+"""``repro top``: a live terminal dashboard over the telemetry endpoint.
+
+Split into three testable layers:
+
+* :func:`parse_exposition` — a small Prometheus 0.0.4 text parser (the
+  inverse of :mod:`repro.observability.promexport`, and the validator the
+  CI smoke job uses against a live endpoint);
+* :func:`render_top` — a pure function from two successive
+  :class:`Exposition` scrapes to one dashboard frame (rates come from the
+  scrape-to-scrape counter deltas; quantiles from the live cumulative
+  histogram buckets);
+* :func:`run_top` — the fetch/render/sleep loop behind the CLI command,
+  with injectable fetcher and output stream so tests can drive it without
+  sockets or a TTY.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import IO, Callable
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Exposition",
+    "fetch_exposition",
+    "parse_exposition",
+    "render_top",
+    "run_top",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+class Exposition:
+    """Parsed scrape: ``{family: {sorted-label-tuple: value}}`` + types."""
+
+    def __init__(self) -> None:
+        self.samples: "dict[str, dict[tuple[tuple[str, str], ...], float]]" = {}
+        self.types: "dict[str, str]" = {}
+
+    def add(self, name: str, labels: "dict[str, str]", value: float) -> None:
+        key = tuple(sorted(labels.items()))
+        self.samples.setdefault(name, {})[key] = value
+
+    @property
+    def names(self) -> "set[str]":
+        return set(self.samples)
+
+    def value(self, name: str, **labels: str) -> "float | None":
+        """The sample with exactly these labels, or None."""
+        series = self.samples.get(name)
+        if series is None:
+            return None
+        return series.get(tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+    def series(self, name: str) -> "list[tuple[dict[str, str], float]]":
+        """All ``(labels, value)`` samples of a family (may be empty)."""
+        return [
+            (dict(key), val)
+            for key, val in sorted(self.samples.get(name, {}).items())
+        ]
+
+    def histogram_quantile(self, name: str, q: float) -> float:
+        """q-quantile from a family's cumulative ``_bucket`` series.
+
+        Returns the smallest ``le`` whose cumulative count covers the
+        target rank (NaN on a missing/empty histogram) — the exposition
+        image of :meth:`Histogram.quantile`, minus the min/max clamp that
+        doesn't travel through Prometheus.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        buckets = sorted(
+            (dict(key).get("le"), val)
+            for key, val in self.samples.get(name + "_bucket", {}).items()
+        )
+        parsed = sorted(
+            (_parse_value(le), cum) for le, cum in buckets if le is not None
+        )
+        if not parsed:
+            return math.nan
+        total = parsed[-1][1]
+        if total <= 0:
+            return math.nan
+        target = max(1, math.ceil(q * total))
+        finite_les = [le for le, _ in parsed if math.isfinite(le)]
+        for le, cum in parsed:
+            if cum >= target:
+                if math.isinf(le):
+                    return finite_les[-1] if finite_les else math.inf
+                return le
+        return parsed[-1][0]  # pragma: no cover - cumulative reaches total
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Parse Prometheus 0.0.4 text; raises on a malformed sample line."""
+    out = Exposition()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                out.types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(
+                f"malformed exposition line {lineno}: {raw!r}"
+            )
+        name, label_body, value_text = match.groups()
+        labels: dict[str, str] = {}
+        if label_body:
+            labels = {
+                key: _unescape(val)
+                for key, val in _LABEL_RE.findall(label_body)
+            }
+        try:
+            value = _parse_value(value_text)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"malformed sample value on line {lineno}: {raw!r}"
+            ) from exc
+        out.add(name, labels, value)
+    return out
+
+
+def fetch_exposition(url: str, timeout: float = 5.0) -> Exposition:
+    """GET + parse a scrape (raises ``OSError``/``URLError`` on transport)."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return parse_exposition(resp.read().decode("utf-8"))
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _si(value: "float | None") -> str:
+    if value is None or math.isnan(value):
+        return "-"
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:.1f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def _secs(value: "float | None") -> str:
+    if value is None or math.isnan(value):
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _rate(
+    curr: Exposition, prev: "Exposition | None", elapsed: float, name: str
+) -> "float | None":
+    if prev is None or elapsed <= 0:
+        return None
+    now, before = curr.value(name), prev.value(name)
+    if now is None or before is None or now < before:
+        return None
+    return (now - before) / elapsed
+
+
+def _ratio(curr: Exposition, num: str, den: str) -> "float | None":
+    n, d = curr.value(num), curr.value(den)
+    if n is None or d is None or d == 0:
+        return None
+    return n / d
+
+
+def render_top(
+    curr: Exposition,
+    prev: "Exposition | None",
+    elapsed: float,
+    *,
+    source: str,
+    clock_text: str,
+) -> str:
+    """One dashboard frame from two successive scrapes (pure function)."""
+    lines = [f"repro top - {source}  [{clock_text}]", ""]
+    reads = curr.value("pipeline_reads_total")
+    lines.append(
+        "pipeline   reads {}   reads/s {}   candidates/read {}   filtered {}".format(
+            _si(reads),
+            _si(_rate(curr, prev, elapsed, "pipeline_reads_total")),
+            (
+                "-"
+                if (cpr := _ratio(curr, "seed_candidates_total", "seed_reads_total"))
+                is None
+                else f"{cpr:.2f}"
+            ),
+            _si(curr.value("seed_filtered_total")),
+        )
+    )
+    cells_rate = _rate(curr, prev, elapsed, "phmm_forward_cells_total")
+    back_rate = _rate(curr, prev, elapsed, "phmm_backward_cells_total")
+    if cells_rate is not None and back_rate is not None:
+        cells_rate += back_rate
+    lines.append(
+        "phmm       DP cells/s {}   chunk p50/p90/p99 {} / {} / {}".format(
+            _si(cells_rate),
+            _secs(curr.histogram_quantile("mp_chunk_map_seconds", 0.5)),
+            _secs(curr.histogram_quantile("mp_chunk_map_seconds", 0.9)),
+            _secs(curr.histogram_quantile("mp_chunk_map_seconds", 0.99)),
+        )
+    )
+    lines.append(
+        "chunks     ok {}   retries {}   timeouts {}   deaths {}   stalls {}".format(
+            _si(curr.value("mp_chunks_total")),
+            _si(curr.value("mp_chunk_retries_total") or 0),
+            _si(curr.value("mp_chunk_timeouts_total") or 0),
+            _si(curr.value("mp_worker_deaths_total") or 0),
+            _si(curr.value("mp_worker_stalls_total") or 0),
+        )
+    )
+    lines.append(
+        "telemetry  workers {}   deltas {}   fleet reads/s {}   fleet cells/s {}".format(
+            _si(curr.value("mp_workers")),
+            _si(curr.value("obs_telemetry_deltas_total")),
+            _si(curr.value("mp_reads_per_second")),
+            _si(curr.value("mp_dp_cells_per_second")),
+        )
+    )
+    workers = curr.series("mp_worker_heartbeat_age_seconds")
+    if workers:
+        lines.append("")
+        lines.append(
+            f"{'worker':>8}  {'state':<16} {'beat':>8} {'reads/s':>9} {'cells/s':>9}"
+        )
+        for labels, age in workers:
+            wid = labels.get("worker", "?")
+            busy = curr.value("mp_worker_busy", worker=wid)
+            busy_secs = curr.value("mp_worker_busy_seconds", worker=wid)
+            stalled = curr.value("mp_worker_stalled", worker=wid)
+            if stalled:
+                state = "STALLED"
+            elif busy:
+                state = f"busy {_secs(busy_secs)}"
+            else:
+                state = "idle"
+            lines.append(
+                "{:>8}  {:<16} {:>8} {:>9} {:>9}".format(
+                    wid,
+                    state,
+                    _secs(age),
+                    _si(curr.value("mp_worker_reads_per_second", worker=wid)),
+                    _si(curr.value("mp_worker_dp_cells_per_second", worker=wid)),
+                )
+            )
+    else:
+        lines.append("")
+        lines.append("(no workers publishing yet)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 1.0,
+    iterations: "int | None" = None,
+    clear: "bool | None" = None,
+    out: "IO[str] | None" = None,
+    fetch_fn: "Callable[[str], Exposition] | None" = None,
+) -> int:
+    """The ``repro top`` loop: scrape, render, repeat until interrupted.
+
+    ``iterations=None`` runs until Ctrl-C.  With a finite iteration count
+    (``--once``) a failed scrape raises so the CLI exits non-zero; in the
+    endless mode it renders a waiting frame and keeps retrying.
+    """
+    if interval <= 0:
+        raise ObservabilityError(f"interval must be > 0, got {interval}")
+    stream: "IO[str]" = out if out is not None else sys.stdout
+    fetch = fetch_fn if fetch_fn is not None else fetch_exposition
+    if clear is None:
+        clear = iterations is None and stream.isatty()
+    prev: "Exposition | None" = None
+    prev_at = 0.0
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            if n:
+                time.sleep(interval)
+            now = time.monotonic()
+            try:
+                curr = fetch(url)
+            except (OSError, urllib.error.URLError) as exc:
+                if iterations is not None:
+                    raise ObservabilityError(
+                        f"cannot scrape {url}: {exc}"
+                    ) from exc
+                frame = f"repro top - waiting for {url} ({exc})\n"
+            else:
+                frame = render_top(
+                    curr,
+                    prev,
+                    now - prev_at,
+                    source=url,
+                    clock_text=time.strftime("%H:%M:%S"),
+                )
+                prev, prev_at = curr, now
+            if clear:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame)
+            stream.flush()
+            n += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        stream.write("\n")
+    return 0

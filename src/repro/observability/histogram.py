@@ -35,6 +35,7 @@ __all__ = [
     "bucket_lower",
     "bucket_upper",
     "merge_histogram_dicts",
+    "subtract_histogram_dicts",
 ]
 
 #: Geometric bucket growth factor (4 buckets per doubling).
@@ -225,3 +226,45 @@ def merge_histogram_dicts(
     ha = Histogram.from_dict(a)
     ha.merge(Histogram.from_dict(b))
     return ha.as_dict()
+
+
+def subtract_histogram_dicts(
+    curr: "Mapping[str, Any]", prev: "Mapping[str, Any]"
+) -> "dict[str, Any]":
+    """``curr - prev`` for two cumulative views of the *same* histogram.
+
+    The inverse of :func:`merge_histogram_dicts` on the bucket/count side:
+    ``merge(prev, subtract(curr, prev))`` reproduces ``curr`` exactly for
+    bucket counts and ``count`` (``sum`` up to float addition order).  Used
+    by the live-telemetry publisher to ship only the observations recorded
+    since the previous heartbeat.  ``min``/``max`` cannot be recovered for
+    the interval, so the delta carries ``curr``'s run-cumulative extrema —
+    still merge-correct, since extrema combine by min/max.
+
+    Raises if ``prev`` is not a prefix of ``curr`` (a bucket shrank), which
+    would mean the two dicts are not successive views of one histogram.
+    """
+    hc = Histogram.from_dict(curr)
+    hp = Histogram.from_dict(prev)
+    out = Histogram()
+    for idx, cnt in hc.buckets.items():
+        diff = cnt - hp.buckets.get(idx, 0)
+        if diff < 0:
+            raise ObservabilityError(
+                f"histogram delta bucket {idx} shrank ({cnt} < prev); "
+                "subtract_histogram_dicts needs successive cumulative views"
+            )
+        if diff:
+            out.buckets[idx] = diff
+    if hp.count > hc.count or any(i not in hc.buckets for i in hp.buckets):
+        raise ObservabilityError(
+            "histogram delta: prev is not a prefix of curr"
+        )
+    out.count = hc.count - hp.count
+    out.total = hc.total - hp.total
+    if out.count:
+        out.vmin = hc.vmin
+        out.vmax = hc.vmax
+    else:
+        out.total = 0.0
+    return out.as_dict()

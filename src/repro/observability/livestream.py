@@ -1,0 +1,385 @@
+"""Live telemetry plane: worker delta publishers + the parent aggregator.
+
+Everything the pipeline measures today rides home *after* a chunk
+completes — a multi-minute pool run is a black box until it finishes.
+This module adds the in-flight view without touching the result path:
+
+* **Worker side** — :func:`start_publisher` runs a daemon thread that
+  snapshots the worker's process-global registry every ``interval``
+  seconds (chunk instrumentation tees there via ``scope()``), subtracts
+  the previous snapshot with :meth:`MetricsSnapshot.delta_since`, and
+  ships the delta over a dedicated telemetry pipe.  Heartbeats are sent
+  even when idle, so liveness and progress travel on the same channel.
+  :func:`mark_busy` / :func:`mark_idle` bracket chunk execution so each
+  heartbeat can say *what* the worker is doing and for how long.
+* **Parent side** — :class:`TelemetryAggregator` drains those pipes on
+  its own thread, folds the deltas into a **separate live registry**
+  (never the parent's authoritative one — the result path stays
+  byte-identical with telemetry on or off), tracks per-worker heartbeat
+  ages and reads/s / DP-cells/s EWMAs, and runs a stall watchdog that
+  flags a worker *before* the dispatcher's per-chunk timeout fires:
+  ``mp.worker_stalls`` counter + ``mp.worker_stall`` trace instant on
+  the rising edge, ``mp.worker_heartbeat_age_seconds_max`` high-water
+  gauge continuously.
+
+The wire format is ``(seq, wall_ts, busy, delta_as_dict)`` — plain
+picklable data, no classes, so a version-skewed reader fails loudly in
+``MetricsSnapshot.from_dict`` instead of unpickling garbage.  Deltas
+never carry trace events (those ride home with chunk results).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ObservabilityError
+from repro.observability import trace
+from repro.observability.registry import MetricsRegistry, global_registry
+from repro.observability.snapshot import MetricsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+__all__ = [
+    "TelemetryAggregator",
+    "WorkerView",
+    "busy_state",
+    "mark_busy",
+    "mark_idle",
+    "publish_loop",
+    "start_publisher",
+]
+
+#: Counters whose per-interval rates feed the per-worker EWMAs.
+_READS_COUNTER = "pipeline.reads"
+_CELLS_COUNTERS = ("phmm.forward_cells", "phmm.backward_cells")
+
+# -- worker side -------------------------------------------------------------
+
+#: The chunk this process is currently executing: ``(chunk_id, started)``
+#: (``time.monotonic``), or None when idle.  Written by the dispatch loop,
+#: read by the publisher thread; a single tuple-or-None store is atomic
+#: under the GIL, so no lock is needed for this advisory state.
+_busy: "tuple[int, float] | None" = None
+
+
+def mark_busy(chunk_id: int) -> None:
+    """Record that this worker process started executing ``chunk_id``."""
+    global _busy
+    _busy = (int(chunk_id), time.monotonic())
+
+
+def mark_idle() -> None:
+    """Record that this worker process finished its chunk."""
+    global _busy
+    _busy = None
+
+
+def busy_state() -> "tuple[int, float] | None":
+    """``(chunk_id, busy_seconds)`` for the in-flight chunk, or None."""
+    state = _busy
+    if state is None:
+        return None
+    return state[0], time.monotonic() - state[1]
+
+
+def publish_loop(
+    conn: "Connection",
+    interval: float,
+    registry: "MetricsRegistry | None" = None,
+    stop: "threading.Event | None" = None,
+) -> None:
+    """Ship metric deltas + heartbeats over ``conn`` until it breaks.
+
+    Runs in a daemon thread inside each pool worker (started right after
+    the worker's READY handshake).  Exits quietly when the parent closes
+    its end or the stop event is set.
+    """
+    reg = registry if registry is not None else global_registry()
+    halt = stop if stop is not None else threading.Event()
+    # Baseline at publisher start, not empty: under the fork start method
+    # the worker inherits the parent's process-global registry (cumulative
+    # counters from earlier runs, parent-side gauges like ``mp.workers``),
+    # and none of that is this worker's activity — deltas must report only
+    # what happened here, after here began.
+    prev = reg.snapshot_values()
+    seq = 0
+    while not halt.wait(interval):
+        curr = reg.snapshot_values()
+        try:
+            delta = curr.delta_since(prev)
+        except ObservabilityError:
+            # The registry was cleared under us (tests do this); resync by
+            # shipping the full cumulative state as one delta.
+            delta = curr
+        prev = curr
+        try:
+            conn.send((seq, time.time(), busy_state(), delta.as_dict()))
+        except (OSError, ValueError, BrokenPipeError):
+            return
+        seq += 1
+
+
+def start_publisher(
+    conn: "Connection",
+    interval: float,
+    registry: "MetricsRegistry | None" = None,
+) -> threading.Event:
+    """Start the publisher daemon thread; returns its stop event."""
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=publish_loop,
+        args=(conn, interval, registry, stop),
+        name="repro-telemetry-publisher",
+        daemon=True,
+    )
+    thread.start()
+    return stop
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """One worker's live state as the aggregator sees it."""
+
+    pid: int
+    seq: int
+    heartbeat_age_seconds: float
+    busy_chunk: "int | None"
+    busy_seconds: float
+    reads_per_second: float
+    cells_per_second: float
+    stalled: bool
+
+
+class _WorkerState:
+    __slots__ = (
+        "pid",
+        "seq",
+        "last_seen",
+        "busy",
+        "reads_rate",
+        "cells_rate",
+        "stalled",
+    )
+
+    def __init__(self, pid: int, now: float) -> None:
+        self.pid = pid
+        self.seq = -1  # no heartbeat yet
+        self.last_seen = now  # registration counts as the first sign of life
+        self.busy: "tuple[int, float] | None" = None
+        self.reads_rate = 0.0
+        self.cells_rate = 0.0
+        self.stalled = False
+
+
+class TelemetryAggregator:
+    """Parent-side thread merging worker deltas into a live registry.
+
+    The live registry is *separate* from the parent's authoritative one:
+    it exists only to be scraped (Prometheus endpoint, ``repro top``), so
+    telemetry can never perturb the result path.  The only writes that
+    reach the parent's normal registry chain are the watchdog's
+    ``mp.worker_stall`` trace instants, which go wherever ``current()``
+    points (i.e. into the same flight recorder as every other event).
+
+    ``step()`` is the whole engine — one pipe drain + one watchdog pass —
+    so tests can drive the aggregator synchronously with an injected
+    clock instead of racing the background thread.
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        stall_after: float = 5.0,
+        *,
+        ewma_alpha: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0:
+            raise ObservabilityError(f"telemetry interval must be > 0, got {interval}")
+        if stall_after <= 0:
+            raise ObservabilityError(
+                f"stall_after must be > 0, got {stall_after}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ObservabilityError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        self._interval = float(interval)
+        self._stall_after = float(stall_after)
+        self._alpha = float(ewma_alpha)
+        self._clock = clock
+        self._tick = min(0.2, self._interval)
+        self._registry = MetricsRegistry()
+        self._states: "dict[Connection, _WorkerState]" = {}
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def interval(self) -> float:
+        """Publisher heartbeat interval (workers read this at spawn)."""
+        return self._interval
+
+    @property
+    def stall_after(self) -> float:
+        return self._stall_after
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Start the background drain thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-telemetry-aggregator", daemon=True
+            )
+            self._thread.start()
+
+    def close(self) -> None:
+        """Stop the thread and drop every registered worker pipe."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            conns = list(self._states)
+            self._states.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def register(self, pid: "int | None", conn: "Connection") -> None:
+        """Adopt a freshly spawned worker's telemetry pipe."""
+        with self._lock:
+            self._states[conn] = _WorkerState(int(pid or 0), self._clock())
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.step(self._tick)
+
+    # -- the engine ----------------------------------------------------------
+    def step(self, timeout: float = 0.0) -> None:
+        """One drain + watchdog pass (what the thread loops over)."""
+        from multiprocessing.connection import wait as conn_wait
+
+        with self._lock:
+            conns = list(self._states)
+        if conns:
+            try:
+                ready = conn_wait(conns, timeout)
+            except OSError:  # a conn died between listing and waiting
+                ready = []
+            for conn in ready:
+                self._drain(conn)
+        elif timeout:
+            self._stop.wait(timeout)
+        self._watchdog()
+
+    def _drain(self, conn: "Connection") -> None:
+        try:
+            while conn.poll(0):
+                self._ingest(conn, conn.recv())
+        except (EOFError, OSError):
+            self._forget(conn)
+
+    def _forget(self, conn: "Connection") -> None:
+        with self._lock:
+            self._states.pop(conn, None)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - parent end already closed
+            pass
+
+    def _ingest(self, conn: "Connection", msg: Any) -> None:
+        try:
+            seq, _wall_ts, busy, delta_dict = msg
+            delta = MetricsSnapshot.from_dict(delta_dict)
+        except (ObservabilityError, TypeError, ValueError):
+            self._registry.inc("obs.telemetry_decode_errors")
+            return
+        self._registry.absorb(delta)
+        self._registry.inc("obs.telemetry_deltas")
+        reads = delta.counter(_READS_COUNTER)
+        cells = sum(delta.counter(name) for name in _CELLS_COUNTERS)
+        with self._lock:
+            state = self._states.get(conn)
+            if state is None:
+                return
+            now = self._clock()
+            first = state.seq < 0
+            elapsed = max(self._interval if first else now - state.last_seen, 1e-6)
+            state.reads_rate = self._ewma(state.reads_rate, reads / elapsed, first)
+            state.cells_rate = self._ewma(state.cells_rate, cells / elapsed, first)
+            state.seq = int(seq)
+            state.last_seen = now
+            state.busy = None if busy is None else (int(busy[0]), float(busy[1]))
+
+    def _ewma(self, prev: float, sample: float, first: bool) -> float:
+        if first:
+            return sample
+        return self._alpha * sample + (1.0 - self._alpha) * prev
+
+    def _watchdog(self) -> None:
+        now = self._clock()
+        with self._lock:
+            states = list(self._states.values())
+            for state in states:
+                age = max(0.0, now - state.last_seen)
+                busy_secs = 0.0
+                if state.busy is not None:
+                    busy_secs = state.busy[1] + age
+                self._registry.gauge_max(
+                    "mp.worker_heartbeat_age_seconds_max", age
+                )
+                stalled = age > self._stall_after or busy_secs > self._stall_after
+                if stalled and not state.stalled:
+                    self._registry.inc("mp.worker_stalls")
+                    trace.instant(
+                        "mp.worker_stall",
+                        pid=state.pid,
+                        chunk=None if state.busy is None else state.busy[0],
+                        heartbeat_age=round(age, 3),
+                        busy_seconds=round(busy_secs, 3),
+                    )
+                state.stalled = stalled
+
+    # -- reads ---------------------------------------------------------------
+    def live_snapshot(self) -> MetricsSnapshot:
+        """Frozen view of the live plane (cumulative worker deltas)."""
+        return self._registry.snapshot()
+
+    def worker_views(self) -> "list[WorkerView]":
+        """Per-worker live state, sorted by pid (heartbeat ages as of now)."""
+        now = self._clock()
+        with self._lock:
+            states = list(self._states.values())
+        views = []
+        for state in states:
+            age = max(0.0, now - state.last_seen)
+            busy_chunk = None if state.busy is None else state.busy[0]
+            busy_secs = 0.0 if state.busy is None else state.busy[1] + age
+            views.append(
+                WorkerView(
+                    pid=state.pid,
+                    seq=state.seq,
+                    heartbeat_age_seconds=age,
+                    busy_chunk=busy_chunk,
+                    busy_seconds=busy_secs,
+                    reads_per_second=state.reads_rate,
+                    cells_per_second=state.cells_rate,
+                    stalled=state.stalled,
+                )
+            )
+        views.sort(key=lambda v: v.pid)
+        return views

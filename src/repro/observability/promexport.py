@@ -1,0 +1,340 @@
+"""Prometheus text exposition for metric snapshots + a stdlib endpoint.
+
+The bridge from the internal metric model to the Prometheus 0.0.4 text
+format (the groundwork for the roadmap's SLO monitoring):
+
+* counters → ``<name>_total`` counter families;
+* gauges → gauge families;
+* spans → the flattened leaf view as two counter families,
+  ``obs_span_seconds_total{span="..."}`` / ``obs_span_count_total{...}``;
+* log-bucketed histograms → native Prometheus histograms: the sparse
+  ``{bucket_index: count}`` grid becomes **cumulative** ``_bucket{le=...}``
+  series (``le`` = each occupied bucket's inclusive upper bound, the zero
+  bucket surfacing as ``le="0"``), plus ``_sum`` and ``_count``.
+
+Metric names are sanitised dot→underscore (``mp.chunk_timeouts`` →
+``mp_chunk_timeouts_total``).  :class:`PrometheusEndpoint` serves the
+rendered text from a daemon ``http.server`` thread — no third-party
+client library, no background scrape state; every GET renders fresh.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from repro.errors import ObservabilityError
+from repro.observability.histogram import ZERO_BUCKET, Histogram, bucket_upper
+from repro.observability.snapshot import MetricsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.livestream import TelemetryAggregator
+
+__all__ = [
+    "PrometheusEndpoint",
+    "Series",
+    "prometheus_name",
+    "render_telemetry",
+    "to_prometheus",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitise an internal metric name into a Prometheus-legal one."""
+    out = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Shortest faithful sample value (Prometheus accepts float syntax)."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(pairs: "Mapping[str, str]") -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(pairs.items())
+    )
+    return "{" + body + "}"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One extra metric family to append to a rendered snapshot.
+
+    Used for series that live outside any registry — e.g. the
+    per-worker instantaneous gauges the aggregator computes at scrape
+    time.  ``samples`` is ``((labels, value), ...)``.
+    """
+
+    name: str
+    kind: str  # "gauge" | "counter" | "untyped"
+    help: str
+    samples: "tuple[tuple[dict[str, str], float], ...]"
+
+
+def _render_histogram(lines: "list[str]", name: str, data: "Mapping") -> None:
+    hist = Histogram.from_dict(data)
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for idx in sorted(hist.buckets):
+        cumulative += hist.buckets[idx]
+        le = "0" if idx == ZERO_BUCKET else _fmt(bucket_upper(idx))
+        lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum {_fmt(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+
+
+def to_prometheus(
+    snapshot: MetricsSnapshot, extra: "Iterable[Series]" = ()
+) -> str:
+    """Render a snapshot (plus any extra families) as exposition text.
+
+    Extra family names must not collide with names derived from the
+    snapshot — each family may carry only one ``# TYPE`` line.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+
+    def family(name: str) -> str:
+        if name in seen:
+            raise ObservabilityError(
+                f"duplicate Prometheus metric family {name!r}"
+            )
+        seen.add(name)
+        return name
+
+    for key in sorted(snapshot.counters):
+        name = family(prometheus_name(key) + "_total")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(snapshot.counters[key])}")
+    for key in sorted(snapshot.gauges):
+        name = family(prometheus_name(key))
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(snapshot.gauges[key])}")
+    totals = snapshot.leaf_totals()
+    if totals:
+        family("obs_span_seconds_total")
+        family("obs_span_count_total")
+        lines.append("# HELP obs_span_seconds_total Flattened span leaf totals.")
+        lines.append("# TYPE obs_span_seconds_total counter")
+        for leaf in sorted(totals):
+            lines.append(
+                f'obs_span_seconds_total{{span="{_escape_label(leaf)}"}} '
+                f"{_fmt(totals[leaf][0])}"
+            )
+        lines.append("# TYPE obs_span_count_total counter")
+        for leaf in sorted(totals):
+            lines.append(
+                f'obs_span_count_total{{span="{_escape_label(leaf)}"}} '
+                f"{totals[leaf][1]}"
+            )
+    for key in sorted(snapshot.histograms):
+        name = family(prometheus_name(key))
+        _render_histogram(lines, name, snapshot.histograms[key])
+    for series in extra:
+        name = family(prometheus_name(series.name))
+        if series.help:
+            lines.append(f"# HELP {name} {series.help}")
+        if series.kind in ("gauge", "counter"):
+            lines.append(f"# TYPE {name} {series.kind}")
+        for labels, value in series.samples:
+            lines.append(f"{name}{_labels(labels)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_telemetry(aggregator: "TelemetryAggregator") -> str:
+    """The live scrape: aggregator registry + per-worker gauge series."""
+    views = aggregator.worker_views()
+    per_worker: "list[Series]" = []
+
+    def worker_series(name: str, help_: str, pick: "Callable") -> Series:
+        return Series(
+            name=name,
+            kind="gauge",
+            help=help_,
+            samples=tuple(
+                ({"worker": str(v.pid)}, float(pick(v))) for v in views
+            ),
+        )
+
+    per_worker.append(
+        worker_series(
+            "mp.worker_heartbeat_age_seconds",
+            "Seconds since each pool worker's last telemetry heartbeat.",
+            lambda v: v.heartbeat_age_seconds,
+        )
+    )
+    per_worker.append(
+        worker_series(
+            "mp.worker_busy",
+            "1 while the worker is executing a chunk, else 0.",
+            lambda v: 1.0 if v.busy_chunk is not None else 0.0,
+        )
+    )
+    per_worker.append(
+        worker_series(
+            "mp.worker_busy_seconds",
+            "How long the worker's in-flight chunk has been running.",
+            lambda v: v.busy_seconds,
+        )
+    )
+    per_worker.append(
+        worker_series(
+            "mp.worker_reads_per_second",
+            "EWMA of reads/s per worker over telemetry heartbeats.",
+            lambda v: v.reads_per_second,
+        )
+    )
+    per_worker.append(
+        worker_series(
+            "mp.worker_dp_cells_per_second",
+            "EWMA of Pair-HMM DP cells/s per worker.",
+            lambda v: v.cells_per_second,
+        )
+    )
+    per_worker.append(
+        worker_series(
+            "mp.worker_stalled",
+            "1 while the stall watchdog flags the worker, else 0.",
+            lambda v: 1.0 if v.stalled else 0.0,
+        )
+    )
+    aggregate = (
+        Series(
+            name="mp.workers",
+            kind="gauge",
+            help="Pool workers currently publishing telemetry.",
+            samples=(({}, float(len(views))),),
+        ),
+        Series(
+            name="mp.reads_per_second",
+            kind="gauge",
+            help="Fleet-wide reads/s (sum of per-worker EWMAs).",
+            samples=(({}, float(sum(v.reads_per_second for v in views))),),
+        ),
+        Series(
+            name="mp.dp_cells_per_second",
+            kind="gauge",
+            help="Fleet-wide Pair-HMM DP cells/s.",
+            samples=(({}, float(sum(v.cells_per_second for v in views))),),
+        ),
+    )
+    return to_prometheus(
+        aggregator.live_snapshot(), extra=tuple(per_worker) + aggregate
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    collect: "Callable[[], str]" = staticmethod(lambda: "")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            try:
+                body = type(self).collect().encode("utf-8")
+            except Exception as exc:  # noqa: BLE001  # replint: disable=RPL401 -- a failed scrape must answer 500, never kill the server
+                self.send_error(500, explain=f"collect failed: {exc}")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/":
+            body = b'repro telemetry endpoint; scrape <a href="/metrics">/metrics</a>\n'
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; never spam stderr
+
+
+class PrometheusEndpoint:
+    """A daemon-thread HTTP server exposing ``collect()`` at ``/metrics``.
+
+    ``port=0`` binds an ephemeral port (tests, benches); the bound port is
+    available after :meth:`start` via :attr:`port` / :attr:`url`.
+    """
+
+    def __init__(
+        self,
+        collect: "Callable[[], str]",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._collect = collect
+        self._host = host
+        self._port = int(port)
+        self._server: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> str:
+        """Bind + serve; returns the scrape URL (idempotent)."""
+        if self._server is not None:
+            return self.url
+        handler = type("_BoundHandler", (_Handler,), {"collect": staticmethod(self._collect)})
+        try:
+            server = ThreadingHTTPServer((self._host, self._port), handler)
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind telemetry endpoint on "
+                f"{self._host}:{self._port}: {exc}"
+            ) from exc
+        server.daemon_threads = True
+        self._server = server
+        self._port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-promexport",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}/metrics"
+
+    def close(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -196,6 +196,18 @@ class MetricsRegistry:
     # -- reads ---------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
         """Deep-copied frozen view; safe to pickle, merge, or serialise."""
+        return self._snapshot(include_events=True)
+
+    def snapshot_values(self) -> MetricsSnapshot:
+        """Like :meth:`snapshot` but without copying the event ring.
+
+        The live-telemetry publisher snapshots the worker registry every
+        heartbeat; skipping the (potentially 64Ki-entry) event copy keeps
+        that loop cheap.  Trace events still ride home with chunk results.
+        """
+        return self._snapshot(include_events=False)
+
+    def _snapshot(self, include_events: bool) -> MetricsSnapshot:
         with self._lock:
             counters = dict(self._counters)
             if self._events_dropped:
@@ -207,7 +219,9 @@ class MetricsRegistry:
                 gauges=dict(self._gauges),
                 spans=_copy_span_tree(self._spans),
                 histograms={k: h.as_dict() for k, h in self._histograms.items()},
-                events=tuple(self._events) if self._events else (),
+                events=(
+                    tuple(self._events) if include_events and self._events else ()
+                ),
             )
 
     def clear(self) -> None:

@@ -50,11 +50,14 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import repro.observability.trace as trace
 from repro.observability import current
+from repro.observability import livestream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
     from multiprocessing.context import BaseContext
     from multiprocessing.process import BaseProcess
+
+    from repro.observability.livestream import TelemetryAggregator
 
 __all__ = ["ChunkDispatcher", "DispatchOutcome", "RecoveryEvent"]
 
@@ -95,8 +98,19 @@ def _worker_main(
     worker_fn: "Callable[[Any, int, int], Any]",
     initializer: "Callable[..., None] | None",
     initargs: "tuple[Any, ...]",
+    telemetry_conn: "Connection | None" = None,
+    telemetry_interval: float = 1.0,
 ) -> None:
-    """Worker process body: init once, then serve chunk tasks off the pipe."""
+    """Worker process body: init once, then serve chunk tasks off the pipe.
+
+    With a ``telemetry_conn``, a daemon publisher thread streams metric
+    deltas + heartbeats over the sideband for the whole worker lifetime
+    (started only after a successful init, so an init failure stays a
+    single loud message on the task pipe), and chunk execution is
+    bracketed with busy markers so heartbeats can attribute in-flight
+    work.  Telemetry is advisory: nothing on this path can change, delay,
+    or reorder the task-pipe protocol.
+    """
     try:
         if initializer is not None:
             initializer(*initargs)
@@ -106,6 +120,9 @@ def _worker_main(
         finally:
             conn.close()
         return
+    publishing = telemetry_conn is not None
+    if publishing:
+        livestream.start_publisher(telemetry_conn, telemetry_interval)
     conn.send((_READY, -1, 0, None))
     while True:
         try:
@@ -115,6 +132,8 @@ def _worker_main(
         if msg[0] == _STOP:
             break
         _, chunk_id, attempt, payload = msg
+        if publishing:
+            livestream.mark_busy(chunk_id)
         try:
             result = worker_fn(payload, chunk_id, attempt)
         except BaseException as exc:  # noqa: BLE001  # replint: disable=RPL401 - process boundary: any failure becomes a typed message so the parent can retry with attribution
@@ -123,6 +142,9 @@ def _worker_main(
             )
         else:
             conn.send((_OK, chunk_id, attempt, result))
+        finally:
+            if publishing:
+                livestream.mark_idle()
     conn.close()
 
 
@@ -168,6 +190,7 @@ class ChunkDispatcher:
         validate: "Callable[[int, Any], None] | None" = None,
         counter_prefix: str = "mp",
         persistent: bool = False,
+        telemetry: "TelemetryAggregator | None" = None,
     ) -> None:
         self._ctx = ctx
         self._n_workers = max(1, n_workers)
@@ -180,6 +203,7 @@ class ChunkDispatcher:
         self._validate = validate
         self._prefix = counter_prefix
         self._persistent = persistent
+        self._telemetry = telemetry
         # Persistent-mode fleet state; unused (always empty) otherwise.
         self._slots: "list[_Slot | None]" = []
         self._started = False
@@ -187,15 +211,31 @@ class ChunkDispatcher:
     # -- worker lifecycle -----------------------------------------------------
     def _spawn(self) -> _Slot:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        tele_recv = tele_send = None
+        if self._telemetry is not None:
+            # Dedicated one-way sideband: the task-pipe protocol stays
+            # untouched, and telemetry backpressure can never delay results.
+            tele_recv, tele_send = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._worker_fn, self._initializer, self._initargs),
+            args=(
+                child_conn,
+                self._worker_fn,
+                self._initializer,
+                self._initargs,
+                tele_send,
+                0.0 if self._telemetry is None else self._telemetry.interval,
+            ),
             daemon=True,
         )
         proc.start()
         # The child holds its own handle; closing ours makes worker death
         # observable as EOF on the parent end.
         child_conn.close()
+        if self._telemetry is not None and tele_recv is not None:
+            if tele_send is not None:
+                tele_send.close()
+            self._telemetry.register(proc.pid, tele_recv)
         return _Slot(proc=proc, conn=parent_conn)
 
     @staticmethod

@@ -44,6 +44,8 @@ from repro.parallel.shm import SharedArrayBundle
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.context import BaseContext
 
+    from repro.observability.livestream import TelemetryAggregator
+
 __all__ = ["PersistentPool", "plan_chunks"]
 
 #: Per-chunk dispatch overhead may cost at most 1/“this” of chunk compute.
@@ -126,6 +128,11 @@ class PersistentPool:
         Per-chunk fault-tolerance knobs, forwarded to the dispatcher.
     chunks_per_worker, autotune, model:
         Chunk-planning knobs for :meth:`plan_chunks`.
+    telemetry:
+        Optional :class:`~repro.observability.livestream.TelemetryAggregator`;
+        when given, every spawned worker streams live metric deltas +
+        heartbeats to it over a dedicated sideband pipe (the aggregator's
+        lifetime is the caller's — usually the Engine's — concern).
     """
 
     def __init__(
@@ -144,6 +151,7 @@ class PersistentPool:
         chunks_per_worker: int = 4,
         autotune: bool = True,
         model: "LogGPModel | None" = None,
+        telemetry: "TelemetryAggregator | None" = None,
     ) -> None:
         if n_workers < 1:
             raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
@@ -177,6 +185,7 @@ class PersistentPool:
             backoff_base=backoff_base,
             validate=validate,
             persistent=True,
+            telemetry=telemetry,
         )
         self._closed = False
         # Crash net: a parent that never reaches close() (KeyboardInterrupt,

@@ -135,6 +135,57 @@ class ParallelConfig:
         parse_fault_spec(self.fault_spec)
 
 
+@dataclass
+class TelemetryConfig:
+    """Live telemetry plane knobs (off by default, zero-cost when off).
+
+    Attributes
+    ----------
+    enabled:
+        Turn on the sideband: pool workers stream periodic metric deltas
+        + heartbeats to a parent-side
+        :class:`~repro.observability.livestream.TelemetryAggregator`, and
+        the Engine serves a Prometheus text-exposition endpoint over it.
+        SNP calls are byte-identical with telemetry on or off — the live
+        registry is separate from the authoritative result-path metrics.
+    interval:
+        Worker publish period in seconds (also the aggregator's drain
+        cadence).  Smaller means fresher dashboards at slightly more
+        sideband traffic.
+    stall_after:
+        Watchdog threshold in seconds: a worker whose heartbeat age *or*
+        in-chunk busy time exceeds this is flagged stalled
+        (``mp.worker_stalls`` + an ``mp.worker_stall`` trace instant) —
+        early warning ahead of the per-chunk timeout kill.  Should sit
+        well under ``parallel.chunk_timeout``.
+    host, port:
+        Bind address for the Prometheus endpoint.  ``port=0`` (default)
+        picks an ephemeral port (read it from ``Engine.telemetry_url``);
+        ``port=None`` disables the HTTP endpoint while keeping the
+        in-process aggregator live (``repro top`` needs the endpoint).
+    """
+
+    enabled: bool = False
+    interval: float = 1.0
+    stall_after: float = 5.0
+    host: str = "127.0.0.1"
+    port: "int | None" = 0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigError(
+                f"telemetry interval must be > 0, got {self.interval}"
+            )
+        if self.stall_after <= 0:
+            raise ConfigError(
+                f"telemetry stall_after must be > 0, got {self.stall_after}"
+            )
+        if self.port is not None and not 0 <= self.port <= 65535:
+            raise ConfigError(
+                f"telemetry port must be in [0, 65535] or None, got {self.port}"
+            )
+
+
 def _warn_deprecated_mp(old: str, new: str) -> None:
     warnings.warn(
         f"PipelineConfig.{old} is deprecated; use "
@@ -215,6 +266,10 @@ class PipelineConfig:
         shape, per-chunk fault tolerance, persistent-pool and
         shared-memory modes.  The flat ``mp_*`` kwargs/attributes are
         deprecated shims over these fields.
+    telemetry:
+        Live telemetry plane sub-config (:class:`TelemetryConfig`):
+        worker metric streaming, stall watchdog and the Prometheus
+        endpoint.  Off by default; never affects call results.
     """
 
     k: int = 10
@@ -232,6 +287,7 @@ class PipelineConfig:
     phmm_kernel: str = "rowsweep"
     phmm_dtype: str = "float64"
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     max_index_positions_per_kmer: int | None = 64
     phmm: PHMMParams = field(default_factory=PHMMParams)
     seeder: SeederConfig = field(default_factory=SeederConfig)

@@ -65,6 +65,7 @@ from repro.pipeline.gnumap import GnumapSnp, MappingStats, PipelineResult, fill_
 from repro.util.timers import TimerRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.livestream import TelemetryAggregator
     from repro.parallel.shm import SharedArraySpec
 
 #: One chunk's transportable payload: (codes, quals, names) per read.
@@ -195,7 +196,11 @@ def _map_chunk(
     return buffers, vars(stats), snapshot
 
 
-def make_pool(pipe: GnumapSnp, n_workers: int) -> PersistentPool:
+def make_pool(
+    pipe: GnumapSnp,
+    n_workers: int,
+    telemetry: "TelemetryAggregator | None" = None,
+) -> PersistentPool:
     """Build a :class:`PersistentPool` for ``pipe``'s genome and config.
 
     With ``config.parallel.shared_memory`` on (default) the genome codes
@@ -204,6 +209,10 @@ def make_pool(pipe: GnumapSnp, n_workers: int) -> PersistentPool:
     initializer (still persistent — spawn costs amortise either way).  The
     caller owns the pool: ``Engine`` keeps it for its lifetime and
     ``close()`` releases workers and segments.
+
+    ``telemetry`` (optional, the Engine wires it from ``TelemetryConfig``)
+    makes every pool worker stream live metric deltas and heartbeats to
+    the given aggregator over a dedicated sideband pipe.
     """
     if n_workers < 1:
         raise PipelineError(f"n_workers must be >= 1, got {n_workers}")
@@ -269,6 +278,7 @@ def make_pool(pipe: GnumapSnp, n_workers: int) -> PersistentPool:
         validate=validate_partial if sanitize.enabled() else None,  # replint: disable=RPL802
         chunks_per_worker=par.chunks_per_worker,
         autotune=par.autotune_chunks,
+        telemetry=telemetry,
     )
 
 

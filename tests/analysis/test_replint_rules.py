@@ -454,6 +454,38 @@ class TestRPL601MetricNameGrammar:
         )
         assert findings == []
 
+    def test_clean_telemetry_plane_names(self):
+        """The live-telemetry names ride the existing mp/obs prefixes —
+        the grammar accepts them without any vocabulary growth."""
+        findings = lint(
+            """
+            import repro.observability.trace as trace
+            from repro.observability import current
+
+            def f(age):
+                current().gauge_max("mp.worker_heartbeat_age_seconds_max", age)
+                current().inc("mp.worker_stalls")
+                current().inc("obs.telemetry_deltas")
+                current().inc("obs.telemetry_decode_errors")
+                trace.instant("mp.worker_stall", pid=1)
+            """
+        )
+        assert findings == []
+
+    def test_trigger_telemetry_name_off_grammar(self):
+        """A hypothetical dedicated 'livetel' subsystem is not in the
+        registered vocabulary; the watchdog counter must stay under mp.*"""
+        findings = lint(
+            """
+            from repro.observability import current
+
+            def f(age):
+                current().gauge_max("livetel.heartbeat_age", age)
+            """
+        )
+        assert ids(findings) == ["RPL601"]
+        assert "unregistered subsystem prefix 'livetel'" in findings[0].message
+
     def test_suppression(self):
         findings = lint(
             """

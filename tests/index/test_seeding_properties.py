@@ -10,6 +10,8 @@ candidates — and must not remove these.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -17,7 +19,9 @@ from hypothesis import strategies as st
 from repro.genome.fastq import Read
 from repro.genome.reference import Reference
 from repro.index.hashindex import GenomeIndex
+from repro.index.kmer import rolling_kmers
 from repro.index.seeding import Seeder, SeederConfig
+from repro.observability import current as metrics
 
 GENOME_LEN = 4000
 READ_LEN = 62
@@ -34,6 +38,45 @@ _GENOME = Reference(
 _INDEX = GenomeIndex(_GENOME, k=10)
 _PLAIN = Seeder(_INDEX, SeederConfig())
 _FILTERED = Seeder(_INDEX, SeederConfig(qgram_filter=True))
+
+
+class _ScalarSeeder(Seeder):
+    """Oracle: the pre-vectorisation per-cluster filtration loop, verbatim."""
+
+    def _qgram_filter(self, codes, clusters, glen):
+        cfg = self.config
+        q = cfg.qgram_q
+        m = int(codes.size)
+        if m < q:
+            return clusters
+        packed, valid = rolling_kmers(codes, q)
+        read_q = np.unique(packed[valid])
+        if read_q.size == 0:
+            return clusters
+        ref_codes = self.index.reference.codes
+        reg = metrics()
+        kept = []
+        for rep, total_votes in clusters:
+            lo = max(0, rep - cfg.diagonal_slack)
+            hi = min(glen, rep + m + cfg.diagonal_slack)
+            window = ref_codes[lo:hi]
+            n_window_q = int(window.size) - q + 1
+            if n_window_q <= 0:
+                reg.inc("seed.filtered")
+                continue
+            wq_packed, wq_valid = rolling_kmers(window, q)
+            window_q = np.unique(wq_packed[wq_valid])
+            matches = int(np.isin(read_q, window_q, assume_unique=True).sum())
+            capacity = min(int(read_q.size), n_window_q)
+            needed = max(1, math.ceil(cfg.filter_threshold * capacity))
+            if matches >= needed:
+                kept.append((rep, total_votes))
+            else:
+                reg.inc("seed.filtered")
+        return kept
+
+
+_SCALAR = _ScalarSeeder(_INDEX, SeederConfig(qgram_filter=True))
 
 
 def _true_hits(cands, pos, slack=3):
@@ -113,3 +156,47 @@ def test_filtration_only_removes(read):
         for c in _FILTERED.candidates(read)
     }
     assert filtered.issubset(plain)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    read=corrupted_read(),
+    threshold=st.sampled_from([0.0, 0.1, 0.5, 0.9, 1.0]),
+)
+def test_vectorized_filter_matches_scalar_oracle(read, threshold):
+    """The vectorised filtration pass is decision-identical to the old
+    per-cluster loop: same survivors, same order, same support, at every
+    threshold (including the degenerate 0.0 and 1.0 ends)."""
+    cfg = SeederConfig(qgram_filter=True, filter_threshold=threshold)
+    fast = Seeder(_INDEX, cfg)
+    oracle = _ScalarSeeder(_INDEX, cfg)
+    fast_cands = [
+        (c.band_diagonal, c.strand, c.support) for c in fast.candidates(read)
+    ]
+    oracle_cands = [
+        (c.band_diagonal, c.strand, c.support) for c in oracle.candidates(read)
+    ]
+    assert fast_cands == oracle_cands
+
+
+def test_vectorized_filter_matches_scalar_on_edge_overhangs():
+    """Edge-overhanging candidates (clamped windows, unmeasurable windows)
+    filter identically under the vectorised pass and the scalar oracle."""
+    cfg = SeederConfig(qgram_filter=True)
+    fast = Seeder(_INDEX, cfg)
+    oracle = _ScalarSeeder(_INDEX, cfg)
+    for pos in (0, 1, GENOME_LEN - READ_LEN, GENOME_LEN - READ_LEN - 1):
+        codes = np.asarray(_GENOME.codes[pos : pos + READ_LEN]).copy()
+        # Hand-built clusters spanning on-genome, clamped, and off-genome
+        # diagonals exercise both the capacity scaling and the
+        # unmeasurable-window drop.
+        clusters = [
+            (-READ_LEN + 2, 2),
+            (-5, 2),
+            (pos, 5),
+            (GENOME_LEN - 10, 2),
+            (GENOME_LEN - 2, 2),
+        ]
+        assert fast._qgram_filter(codes, list(clusters), GENOME_LEN) == (
+            oracle._qgram_filter(codes, list(clusters), GENOME_LEN)
+        )

@@ -1,0 +1,171 @@
+"""``repro top``: exposition parser, frame rendering, the scrape loop.
+
+The parser is the inverse of :mod:`promexport` and the validator CI uses;
+``render_top`` is a pure function tested frame-by-frame; ``run_top`` gets
+an injected fetcher so the loop runs without sockets.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import parse_exposition, render_top, run_top
+from repro.observability.dashboard import Exposition
+
+
+class TestParser:
+    def test_samples_types_and_labels(self):
+        text = (
+            "# HELP pipeline_reads_total reads seen\n"
+            "# TYPE pipeline_reads_total counter\n"
+            "pipeline_reads_total 1936\n"
+            "# TYPE mp_worker_busy gauge\n"
+            'mp_worker_busy{worker="11"} 1\n'
+            'mp_worker_busy{worker="12"} 0\n'
+            'odd_label{text="a\\"b\\\\c"} 2.5\n'
+        )
+        exp = parse_exposition(text)
+        assert exp.value("pipeline_reads_total") == 1936
+        assert exp.types["pipeline_reads_total"] == "counter"
+        assert exp.value("mp_worker_busy", worker="11") == 1
+        assert exp.value("mp_worker_busy", worker="12") == 0
+        ((labels, value),) = exp.series("odd_label")
+        assert labels == {"text": 'a"b\\c'} and value == 2.5
+
+    def test_inf_values(self):
+        exp = parse_exposition('h_bucket{le="+Inf"} 5\n')
+        ((labels, value),) = exp.series("h_bucket")
+        assert value == 5
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ObservabilityError):
+            parse_exposition("this is ! not a sample\n")
+        with pytest.raises(ObservabilityError):
+            parse_exposition("name notanumber\n")
+
+    def test_histogram_quantile_from_cumulative_buckets(self):
+        text = (
+            'h_bucket{le="0.1"} 2\n'
+            'h_bucket{le="1"} 9\n'
+            'h_bucket{le="+Inf"} 10\n'
+            "h_sum 5.5\nh_count 10\n"
+        )
+        exp = parse_exposition(text)
+        assert exp.histogram_quantile("h", 0.1) == pytest.approx(0.1)
+        assert exp.histogram_quantile("h", 0.5) == pytest.approx(1.0)
+        # Mass past the last finite bound clamps to the largest finite le.
+        assert exp.histogram_quantile("h", 1.0) == pytest.approx(1.0)
+        assert math.isnan(exp.histogram_quantile("missing", 0.5))
+        with pytest.raises(ObservabilityError):
+            exp.histogram_quantile("h", 1.5)
+
+
+def _scrape(reads=1000, workers=True):
+    exp = Exposition()
+    exp.add("pipeline_reads_total", {}, float(reads))
+    exp.add("seed_reads_total", {}, float(reads))
+    exp.add("seed_candidates_total", {}, float(reads * 3))
+    exp.add("phmm_forward_cells_total", {}, float(reads * 500))
+    exp.add("phmm_backward_cells_total", {}, float(reads * 500))
+    exp.add("mp_chunks_total", {}, 8.0)
+    exp.add("mp_workers", {}, 2.0)
+    exp.add("mp_reads_per_second", {}, 960.0)
+    exp.add("mp_dp_cells_per_second", {}, 4.8e5)
+    exp.add("obs_telemetry_deltas_total", {}, 17.0)
+    if workers:
+        for pid, busy in (("11", 1.0), ("12", 0.0)):
+            exp.add("mp_worker_heartbeat_age_seconds", {"worker": pid}, 0.2)
+            exp.add("mp_worker_busy", {"worker": pid}, busy)
+            exp.add("mp_worker_busy_seconds", {"worker": pid}, 1.5 * busy)
+            exp.add("mp_worker_stalled", {"worker": pid}, 0.0)
+            exp.add("mp_worker_reads_per_second", {"worker": pid}, 480.0)
+            exp.add("mp_worker_dp_cells_per_second", {"worker": pid}, 2.4e5)
+    return exp
+
+
+class TestRenderTop:
+    def test_frame_contains_rates_and_worker_table(self):
+        frame = render_top(
+            _scrape(2000),
+            _scrape(1000),
+            elapsed=1.0,
+            source="http://x/metrics",
+            clock_text="12:00:00",
+        )
+        assert "repro top - http://x/metrics" in frame
+        assert "reads/s 1.0k" in frame  # (2000-1000)/1s
+        assert "candidates/read 3.00" in frame
+        assert "worker" in frame and "11" in frame and "12" in frame
+        assert "busy" in frame and "idle" in frame
+
+    def test_first_frame_has_no_rates(self):
+        frame = render_top(
+            _scrape(), None, 0.0, source="s", clock_text="t"
+        )
+        assert "reads/s -" in frame
+
+    def test_stalled_worker_is_flagged(self):
+        curr = _scrape()
+        curr.add("mp_worker_stalled", {"worker": "11"}, 1.0)
+        frame = render_top(curr, None, 0.0, source="s", clock_text="t")
+        assert "STALLED" in frame
+
+    def test_no_workers_fallback(self):
+        frame = render_top(
+            _scrape(workers=False), None, 0.0, source="s", clock_text="t"
+        )
+        assert "(no workers publishing yet)" in frame
+
+
+class TestRunTop:
+    def test_finite_iterations_render_frames(self):
+        scrapes = iter([_scrape(1000), _scrape(2000), _scrape(3000)])
+        out = io.StringIO()
+        rc = run_top(
+            "http://fake/metrics",
+            interval=0.01,
+            iterations=3,
+            clear=False,
+            out=out,
+            fetch_fn=lambda url: next(scrapes),
+        )
+        assert rc == 0
+        frames = out.getvalue()
+        assert frames.count("repro top - http://fake/metrics") == 3
+        # Only the first frame lacks a rate; later frames compute one from
+        # the 1000-read counter advance, whatever the loop's elapsed.
+        assert frames.count("reads/s -") == 1
+
+    def test_scrape_failure_raises_in_finite_mode(self):
+        def fail(url):
+            raise OSError("connection refused")
+
+        with pytest.raises(ObservabilityError):
+            run_top(
+                "http://down/metrics",
+                interval=0.01,
+                iterations=1,
+                clear=False,
+                out=io.StringIO(),
+                fetch_fn=fail,
+            )
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ObservabilityError):
+            run_top("http://x/metrics", interval=0.0, iterations=1)
+
+    def test_clear_writes_ansi_reset(self):
+        out = io.StringIO()
+        run_top(
+            "u",
+            interval=0.01,
+            iterations=1,
+            clear=True,
+            out=out,
+            fetch_fn=lambda url: _scrape(),
+        )
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")

@@ -1,0 +1,196 @@
+"""Prometheus exposition: rendering contract + the stdlib endpoint.
+
+Every rendered scrape must round-trip through the repo's own parser
+(:func:`parse_exposition`) — the same validation the CI metrics-smoke job
+runs against a live endpoint — and histogram buckets must be cumulative
+with ``le`` bounds matching the internal log-bucket grid.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    MetricsRegistry,
+    PrometheusEndpoint,
+    Series,
+    TelemetryAggregator,
+    parse_exposition,
+    prometheus_name,
+    render_telemetry,
+    span,
+    to_prometheus,
+    use,
+)
+from repro.observability.histogram import bucket_upper
+
+
+class TestNameSanitisation:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("mp.chunk_timeouts") == "mp_chunk_timeouts"
+
+    def test_illegal_chars_and_leading_digit(self):
+        assert prometheus_name("9a-b.c") == "_9a_b_c"
+
+
+class TestRendering:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("pipeline.reads", 1936)
+        reg.inc("mp.chunk_retries", 2)
+        reg.gauge_max("mp.shm_bytes", 4096)
+        reg.observe("mp.chunk_map_seconds", 0.1)
+        reg.observe("mp.chunk_map_seconds", 0.1)
+        reg.observe("mp.chunk_map_seconds", 3.0)
+        with use(reg):
+            with span("align"):
+                pass
+        return reg.snapshot()
+
+    def test_counters_gauges_spans_round_trip(self):
+        text = to_prometheus(self._snapshot())
+        exp = parse_exposition(text)
+        assert exp.value("pipeline_reads_total") == 1936
+        assert exp.value("mp_chunk_retries_total") == 2
+        assert exp.value("mp_shm_bytes") == 4096
+        assert exp.types["pipeline_reads_total"] == "counter"
+        assert exp.types["mp_shm_bytes"] == "gauge"
+        assert exp.value("obs_span_count_total", span="align") == 1
+        assert exp.types["obs_span_count_total"] == "counter"
+
+    def test_histogram_buckets_are_cumulative_with_grid_bounds(self):
+        text = to_prometheus(self._snapshot())
+        exp = parse_exposition(text)
+        assert exp.types["mp_chunk_map_seconds"] == "histogram"
+        buckets = sorted(
+            exp.series("mp_chunk_map_seconds_bucket"),
+            key=lambda pair: float("inf")
+            if pair[0]["le"] == "+Inf"
+            else float(pair[0]["le"]),
+        )
+        les = [labels["le"] for labels, _ in buckets]
+        assert les[-1] == "+Inf"
+        counts = [val for _, val in buckets]
+        assert counts == sorted(counts), "bucket series must be cumulative"
+        assert exp.value("mp_chunk_map_seconds_count") == 3
+        assert exp.value("mp_chunk_map_seconds_sum") == pytest.approx(3.2)
+        # The two 0.1s observations share a bucket whose upper bound comes
+        # from the internal log grid.
+        finite = [
+            (float(labels["le"]), val)
+            for labels, val in buckets
+            if labels["le"] not in ("+Inf",)
+        ]
+        first_le, first_cum = finite[0]
+        assert first_cum == 2
+        assert any(
+            first_le == pytest.approx(bucket_upper(i)) for i in range(-40, 40)
+        )
+
+    def test_quantile_estimates_from_rendered_buckets(self):
+        exp = parse_exposition(to_prometheus(self._snapshot()))
+        p50 = exp.histogram_quantile("mp_chunk_map_seconds", 0.5)
+        assert 0.05 <= p50 <= 0.2
+
+    def test_extra_series_with_labels(self):
+        extra = Series(
+            name="mp.worker_busy",
+            kind="gauge",
+            help="test",
+            samples=(({"worker": "11"}, 1.0), ({"worker": "12"}, 0.0)),
+        )
+        reg = MetricsRegistry()
+        exp = parse_exposition(to_prometheus(reg.snapshot(), extra=(extra,)))
+        assert exp.value("mp_worker_busy", worker="11") == 1.0
+        assert exp.value("mp_worker_busy", worker="12") == 0.0
+
+    def test_duplicate_family_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge_max("mp.workers", 2)
+        clash = Series(name="mp.workers", kind="gauge", help="", samples=())
+        with pytest.raises(ObservabilityError):
+            to_prometheus(reg.snapshot(), extra=(clash,))
+
+    def test_render_telemetry_includes_per_worker_series(self):
+        agg = TelemetryAggregator(clock=lambda: 1000.0)
+        import multiprocessing as mp
+
+        recv, send = mp.Pipe(duplex=False)
+        agg.register(77, recv)
+        exp = parse_exposition(render_telemetry(agg))
+        assert exp.value("mp_workers") == 1
+        assert exp.value("mp_worker_heartbeat_age_seconds", worker="77") == 0.0
+        assert exp.value("mp_worker_stalled", worker="77") == 0.0
+        agg.close()
+        send.close()
+
+
+class TestEndpoint:
+    def test_serves_parseable_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("pipeline.reads", 10)
+        endpoint = PrometheusEndpoint(lambda: to_prometheus(reg.snapshot()))
+        url = endpoint.start()
+        try:
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                exp = parse_exposition(resp.read().decode("utf-8"))
+            assert exp.value("pipeline_reads_total") == 10
+            # Live updates: the next scrape sees new values, no caching.
+            reg.inc("pipeline.reads", 5)
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                exp = parse_exposition(resp.read().decode("utf-8"))
+            assert exp.value("pipeline_reads_total") == 15
+        finally:
+            endpoint.close()
+
+    def test_index_page_and_404(self):
+        endpoint = PrometheusEndpoint(lambda: "")
+        url = endpoint.start()
+        base = url.rsplit("/metrics", 1)[0]
+        try:
+            with urllib.request.urlopen(base + "/", timeout=5) as resp:
+                assert b"/metrics" in resp.read()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(base + "/nope", timeout=5)
+            assert err.value.code == 404
+        finally:
+            endpoint.close()
+
+    def test_collect_failure_returns_500_not_crash(self):
+        def boom() -> str:
+            raise RuntimeError("scrape-time failure")
+
+        endpoint = PrometheusEndpoint(boom)
+        url = endpoint.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url, timeout=5)
+            assert err.value.code == 500
+        finally:
+            endpoint.close()
+
+    def test_close_is_idempotent_and_frees_port(self):
+        endpoint = PrometheusEndpoint(lambda: "")
+        endpoint.start()
+        port = endpoint.port
+        endpoint.close()
+        endpoint.close()
+        # The port is reusable immediately after close.
+        rebound = PrometheusEndpoint(lambda: "", port=port)
+        rebound.start()
+        rebound.close()
+
+    def test_bind_failure_raises_observability_error(self):
+        holder = PrometheusEndpoint(lambda: "")
+        holder.start()
+        try:
+            clash = PrometheusEndpoint(lambda: "", port=holder.port)
+            with pytest.raises(ObservabilityError):
+                clash.start()
+        finally:
+            holder.close()

@@ -160,6 +160,36 @@ class TestRingBuffer:
         assert len(snap.events) == 4
         assert snap.counter("obs.trace_dropped") == 2
 
+    def test_default_capacity_overflow_bounds_memory_and_counts_drops(self):
+        """Flooding past the full 65536-slot default ring keeps exactly the
+        newest ``capacity`` events, surfaces every drop in
+        ``obs.trace_dropped``, and still exports a valid Chrome trace."""
+        import json
+
+        from repro.observability import to_chrome_trace
+
+        trace.enable()  # default capacity
+        assert event_capacity() == DEFAULT_EVENT_CAPACITY
+        overflow = 2048
+        total = DEFAULT_EVENT_CAPACITY + overflow
+        reg = MetricsRegistry()  # fresh ring at the default capacity
+        with use(reg):
+            for i in range(total):
+                trace.instant("obs.test_tick", i=i)
+        snap = reg.snapshot()
+        assert len(snap.events) == DEFAULT_EVENT_CAPACITY
+        assert snap.counter("obs.trace_dropped") == overflow
+        # Oldest events fell off the front; the newest survived intact.
+        kept = [ev[7]["i"] for ev in snap.events]
+        assert kept[0] == overflow
+        assert kept[-1] == total - 1
+        # The saturated ring still renders to well-formed Chrome trace JSON.
+        doc = json.loads(json.dumps(to_chrome_trace(snap)))
+        ticks = [
+            ev for ev in doc["traceEvents"] if ev.get("name") == "obs.test_tick"
+        ]
+        assert len(ticks) == DEFAULT_EVENT_CAPACITY
+
     def test_clear_resets_events_and_drop_count(self):
         trace.enable(capacity=2)
         reg = MetricsRegistry()

@@ -1,0 +1,149 @@
+"""End-to-end telemetry plane: live endpoint during a pool run, and the
+byte-identity contract (SNP calls and accumulator state are identical with
+telemetry on or off — the live plane never touches the result path).
+
+Fork start method keeps the repeated worker spawns cheap, matching the
+rest of the mp test suite; the sideband is start-method-agnostic (the
+telemetry pipe rides the same Process args as the command pipe).
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.workload import build_workload
+from repro.genome.reference import Reference
+from repro.observability import parse_exposition
+from repro.pipeline.config import (
+    ParallelConfig,
+    PipelineConfig,
+    TelemetryConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = build_workload(scale="tiny", seed=31)
+    wl.reads = wl.reads[:250]
+    return wl
+
+
+def _config(telemetry: bool, **tele_kwargs) -> PipelineConfig:
+    return PipelineConfig(
+        parallel=ParallelConfig(workers=2, start_method="fork"),
+        telemetry=TelemetryConfig(enabled=telemetry, **tele_kwargs),
+    )
+
+
+def _engine(workload, config):
+    from repro.api import Engine
+
+    return Engine(
+        Reference(workload.reference.codes, name=workload.reference.name),
+        config,
+    )
+
+
+class TestTelemetryConfig:
+    def test_defaults_off(self):
+        cfg = PipelineConfig()
+        assert not cfg.telemetry.enabled
+        assert cfg.telemetry.interval == 1.0
+        assert cfg.telemetry.stall_after == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TelemetryConfig(interval=0.0)
+        with pytest.raises(ConfigError):
+            TelemetryConfig(stall_after=-1.0)
+        with pytest.raises(ConfigError):
+            TelemetryConfig(port=70000)
+        with pytest.raises(ConfigError):
+            TelemetryConfig(port=-1)
+        assert TelemetryConfig(port=None).port is None
+
+
+class TestEngineLifecycle:
+    def test_disabled_engine_has_no_telemetry(self, workload):
+        with _engine(workload, _config(False)) as engine:
+            assert engine.telemetry is None
+            assert engine.telemetry_url is None
+
+    def test_enabled_engine_serves_before_first_run(self, workload):
+        with _engine(workload, _config(True, interval=0.1)) as engine:
+            url = engine.telemetry_url
+            assert url is not None and url.endswith("/metrics")
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                parse_exposition(resp.read().decode("utf-8"))
+
+    def test_port_none_keeps_aggregator_without_endpoint(self, workload):
+        with _engine(workload, _config(True, port=None)) as engine:
+            assert engine.telemetry is not None
+            assert engine.telemetry_url is None
+
+    def test_close_tears_down_and_reuse_rebuilds(self, workload):
+        engine = _engine(workload, _config(True, interval=0.1))
+        first_url = engine.telemetry_url
+        engine.close()
+        assert engine.telemetry_url is None
+        with pytest.raises((OSError, urllib.error.URLError)):
+            urllib.request.urlopen(first_url, timeout=1)
+        # The engine stays usable: the next parallel run builds a fresh
+        # pool, aggregator and endpoint.
+        result = engine.run(workload.reads[:50])
+        assert engine.telemetry_url is not None
+        assert result.stats.n_reads == 50
+        engine.close()
+
+
+class TestLiveScrapeDuringRun:
+    def test_endpoint_updates_across_a_pool_run(self, workload):
+        """The scrape is live: before the run it shows no pipeline reads;
+        after the run (workers published their final deltas) it does, with
+        per-worker heartbeat series present — the CI smoke contract."""
+        with _engine(workload, _config(True, interval=0.05)) as engine:
+            url = engine.telemetry_url
+
+            def scrape():
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    return parse_exposition(resp.read().decode("utf-8"))
+
+            before = scrape()
+            assert before.value("pipeline_reads_total") is None
+            engine.run(workload.reads)
+            deadline = time.monotonic() + 10.0
+            exp = scrape()
+            while (
+                time.monotonic() < deadline
+                and (exp.value("pipeline_reads_total") or 0) < len(workload.reads)
+            ):
+                time.sleep(0.05)
+                exp = scrape()
+            assert exp.value("pipeline_reads_total") == len(workload.reads)
+            workers = exp.series("mp_worker_heartbeat_age_seconds")
+            assert len(workers) == 2
+            assert exp.value("mp_workers") == 2
+            assert (exp.value("obs_telemetry_deltas_total") or 0) > 0
+
+
+class TestByteIdentity:
+    def test_calls_identical_with_telemetry_on_and_off(self, workload):
+        with _engine(workload, _config(False)) as engine_off:
+            off = engine_off.run(workload.reads)
+        with _engine(workload, _config(True, interval=0.05)) as engine_on:
+            on = engine_on.run(workload.reads)
+        assert [
+            (s.pos, s.ref_name, s.alt_name, s.call.pvalue) for s in on.snps
+        ] == [
+            (s.pos, s.ref_name, s.alt_name, s.call.pvalue) for s in off.snps
+        ]
+        assert np.array_equal(
+            on.accumulator.snapshot(), off.accumulator.snapshot()
+        )
+        assert on.stats.n_reads == off.stats.n_reads

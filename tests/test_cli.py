@@ -166,3 +166,62 @@ class TestSimulateCallEvaluate:
         ])
         assert rc == 2
         assert "seed_len" in capsys.readouterr().err
+
+
+class TestTelemetryCli:
+    def test_top_once_renders_a_frame(self, capsys):
+        from repro.observability import MetricsRegistry, PrometheusEndpoint, to_prometheus
+
+        reg = MetricsRegistry()
+        reg.inc("pipeline.reads", 123)
+        endpoint = PrometheusEndpoint(lambda: to_prometheus(reg.snapshot()))
+        url = endpoint.start()
+        try:
+            rc = main(["top", url, "--once", "--interval", "0.05"])
+        finally:
+            endpoint.close()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "reads 123" in out
+
+    def test_top_accepts_host_port_shorthand(self, capsys):
+        from repro.observability import PrometheusEndpoint
+
+        endpoint = PrometheusEndpoint(lambda: "")
+        endpoint.start()
+        try:
+            rc = main(["top", f"127.0.0.1:{endpoint.port}", "--once"])
+        finally:
+            endpoint.close()
+        assert rc == 0
+
+    def test_top_unreachable_endpoint_exits_2(self, capsys):
+        rc = main(["top", "http://127.0.0.1:1/metrics", "--once"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_top_portless_endpoint_rejected(self, capsys):
+        rc = main(["top", "localhost", "--once"])
+        assert rc == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_call_with_telemetry_prints_url(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main([
+            "simulate", "--scale", "tiny", "--seed", "11",
+            "--reference", str(ref), "--reads", str(reads),
+            "--truth", str(tmp_path / "t.tsv"),
+        ])
+        capsys.readouterr()
+        out = tmp_path / "snps.tsv"
+        rc = main([
+            "call", str(ref), str(reads), "-o", str(out),
+            "--parallel-workers", "2", "--telemetry",
+            "--telemetry-interval", "0.1",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "telemetry: http://127.0.0.1:" in captured.err
+        assert out.exists()
